@@ -1,0 +1,81 @@
+// Ablation: the eager-limit tuning knob (paper Sec. II-C1).
+//
+// "MPI implementations often allow the user to choose the protocol by
+// setting an 'eager limit' ... an upper bound on the size of messages sent
+// or received using the eager protocol." For bidirectional communication
+// this knob controls sigma: messages below the limit propagate waves at
+// sigma = 1, messages above at sigma = 2. The bench sweeps the message size
+// across the 131072 B limit and shows the speed step exactly at the
+// protocol switch — a knob an operator could actually turn to change how
+// fast disturbances travel through a production system.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/delay.hpp"
+
+int bench_main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"out"});
+  auto csv = bench::csv_from_cli(cli);
+
+  bench::print_header(
+      "Ablation — the eager-limit knob and wave speed",
+      "bidirectional open ring, 18 ranks, Texec = 3 ms, eager limit "
+      "131072 B; message size swept across the limit");
+
+  TextTable table;
+  table.columns({"message size", "protocol", "v_meas [ranks/s]",
+                 "hops/cycle (sigma*d)"});
+  csv.header({"msg_bytes", "protocol", "v_meas", "hops_per_cycle"});
+
+  for (const std::int64_t msg :
+       {std::int64_t{16384}, std::int64_t{65536}, std::int64_t{114688},
+        std::int64_t{131072}, std::int64_t{131080}, std::int64_t{147456},
+        std::int64_t{196608}, std::int64_t{262144}}) {
+    workload::RingSpec ring;
+    ring.ranks = 18;
+    ring.direction = workload::Direction::bidirectional;
+    ring.boundary = workload::Boundary::open;
+    ring.msg_bytes = msg;
+    ring.steps = 20;
+    ring.texec = milliseconds(3.0);
+    ring.noisy = false;
+
+    core::WaveExperiment exp;
+    exp.ring = ring;
+    exp.cluster = core::cluster_for_ring(ring);
+    exp.delays = workload::single_delay(5, 0, milliseconds(13.5));
+
+    const auto result = core::run_wave_experiment(exp);
+    const double hops_per_cycle =
+        result.up.speed_ranks_per_sec * result.measured_cycle.sec();
+
+    table.add_row({fmt_bytes(msg),
+                   result.protocol == mpi::WireProtocol::eager
+                       ? "eager"
+                       : "rendezvous",
+                   fmt_fixed(result.up.speed_ranks_per_sec, 1),
+                   fmt_fixed(hops_per_cycle, 2)});
+    csv.row({std::to_string(msg),
+             result.protocol == mpi::WireProtocol::eager ? "eager" : "rndv",
+             csv_num(result.up.speed_ranks_per_sec),
+             csv_num(hops_per_cycle)});
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout
+      << "hops/cycle steps from ~1 to ~2 exactly where the message size\n"
+         "crosses the 131072 B eager limit: the protocol switch, not the\n"
+         "size itself, sets the propagation speed. Retuning the eager limit\n"
+         "therefore changes how quickly one-off delays spread through a\n"
+         "bidirectionally-communicating application.\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the figure benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+
+namespace iw::bench {
+
+/// Opens the optional --out CSV sink.
+inline CsvWriter csv_from_cli(const Cli& cli) {
+  if (const auto path = cli.get("out")) return CsvWriter{*path};
+  return CsvWriter{};
+}
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::cout << "=====================================================\n"
+            << title << "\n" << what << "\n"
+            << "=====================================================\n\n";
+}
+
+/// Runs a bench entry point with clean error reporting (bad flags and
+/// failed contracts print a one-line message instead of terminating).
+inline int guarded_main(int (*fn)(int, char**), int argc, char** argv) {
+  try {
+    return fn(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << (argc > 0 ? argv[0] : "bench") << ": error: " << e.what()
+              << "\n";
+    return 1;
+  }
+}
+
+}  // namespace iw::bench

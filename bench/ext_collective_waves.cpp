@@ -1,0 +1,111 @@
+// Extension bench (paper Sec. VII future work): how collective operations
+// change the idle-wave phenomenology.
+//
+// A collective is a global synchronization funnel: instead of rippling one
+// rank per cycle, a delay reaching any participant stalls *everyone* at the
+// next collective. This bench injects the same one-off delay into a ring
+// with (a) no collective, (b) a barrier every step, (c) a barrier every 4
+// steps, (d) a ring allreduce every 4 steps, and reports when each rank
+// first feels the delay plus the total cost.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "core/idle_wave.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/collectives.hpp"
+
+namespace {
+
+struct Variant {
+  const char* label;
+  iw::workload::CollectiveKind kind;
+  int every;
+};
+
+}  // namespace
+
+int bench_main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"out", "ranks", "delay-ms"});
+  auto csv = bench::csv_from_cli(cli);
+  const int ranks = static_cast<int>(cli.get_or("ranks", std::int64_t{24}));
+  const double delay_ms = cli.get_or("delay-ms", 8.0);
+
+  bench::print_header(
+      "Extension — idle waves vs collective operations",
+      std::to_string(ranks) + " ranks, Texec = 2 ms, " +
+          fmt_fixed(delay_ms, 0) + " ms delay at rank " +
+          std::to_string(ranks / 6) + ", step 2");
+
+  const Variant variants[] = {
+      {"point-to-point only", workload::CollectiveKind::none, 1},
+      {"barrier every step", workload::CollectiveKind::barrier, 1},
+      {"barrier every 4 steps", workload::CollectiveKind::barrier, 4},
+      {"allreduce every 4 steps", workload::CollectiveKind::allreduce, 4},
+  };
+
+  TextTable table;
+  table.columns({"variant", "first-hit spread [ms]", "median first-hit [ms]",
+                 "makespan [ms]", "excess [ms]"});
+  csv.header({"variant", "hit_spread_ms", "hit_median_ms", "makespan_ms",
+              "excess_ms"});
+
+  for (const auto& variant : variants) {
+    workload::RingSpec ring;
+    ring.ranks = ranks;
+    ring.direction = workload::Direction::bidirectional;
+    ring.boundary = workload::Boundary::periodic;
+    ring.steps = 12;
+    ring.texec = milliseconds(2.0);
+    ring.noisy = false;
+
+    const std::vector<workload::DelaySpec> delays{
+        {ranks / 6, 2, milliseconds(delay_ms)}};
+    const auto programs = workload::build_ring_with_collective(
+        ring, variant.kind, variant.every, 16 * 1024, delays);
+
+    core::ClusterConfig config;
+    config.topo = net::TopologySpec::one_rank_per_node(ranks);
+    core::Cluster cluster(config);
+    const auto trace = cluster.run(programs);
+
+    // First time each rank idles >= half the delay.
+    std::vector<double> first_hit;
+    for (int r = 0; r < ranks; ++r) {
+      if (r == ranks / 6) continue;
+      const auto periods =
+          core::idle_periods(trace, r, milliseconds(delay_ms / 2));
+      if (!periods.empty()) first_hit.push_back(periods.front().begin.ms());
+    }
+    const Summary s = summarize(first_hit);
+    const Duration makespan = trace.makespan() - SimTime::zero();
+    const double ideal_ms =
+        12 * 2.0;  // collectives add little in the silent case
+
+    table.add_row({variant.label, fmt_fixed(s.max - s.min, 2),
+                   fmt_fixed(s.median, 2), fmt_fixed(makespan.ms(), 2),
+                   fmt_fixed(makespan.ms() - ideal_ms - delay_ms, 2)});
+    csv.row({variant.label, csv_num(s.max - s.min), csv_num(s.median),
+             csv_num(makespan.ms()),
+             csv_num(makespan.ms() - ideal_ms - delay_ms)});
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout
+      << "Reading: with point-to-point communication the first-hit times\n"
+         "spread over many cycles (the wave travels at Eq. 2 speed); with a\n"
+         "barrier every step the spread collapses to ~0 — the delay is\n"
+         "globalized instantly. Sparse collectives interpolate: waves\n"
+         "ripple freely between synchronization points. In all cases the\n"
+         "total cost stays ~one delay (collectives do not multiply it).\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

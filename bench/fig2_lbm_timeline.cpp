@@ -1,0 +1,125 @@
+// Fig. 2 reproduction: emergent irregular structure in an MPI-parallel LBM
+// D3Q19 proxy (302^3 cells, 100 ranks on 5 nodes, 1-D decomposition,
+// periodic boundaries) compared with the regular nonoverlapping model.
+//
+// For each snapshot timestep t the bench prints where every rank's step t
+// sits on the wall-clock axis (paper: red markers) next to the model
+// position, plus the cross-rank spread ("amplitude") and the deviation of
+// the actual runtime from the model (the paper observes the real run ~2.5%
+// FASTER by t = 10000 thanks to desynchronization-driven overlap).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/lbm.hpp"
+
+int bench_main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"out", "steps", "ranks", "cells", "seed", "positions", "halo-pops"});
+  auto csv = bench::csv_from_cli(cli);
+  // Full paper scale: 10000 steps. Default trimmed for bench-suite runtime;
+  // pass --steps 10000 for the complete figure.
+  const int steps = static_cast<int>(cli.get_or("steps", std::int64_t{2000}));
+  const int ranks = static_cast<int>(cli.get_or("ranks", std::int64_t{100}));
+  const int cells = static_cast<int>(cli.get_or("cells", std::int64_t{302}));
+  const bool positions = cli.has("positions");
+
+  workload::LbmSpec spec;
+  spec.nx = cells;
+  spec.ny = cells;
+  spec.nz = cells;
+  spec.ranks = ranks;
+  spec.steps = steps;
+  // Default to exchanging the full population set per face (as simple LBM
+  // implementations do); this reproduces the paper's >= 30 % communication
+  // share. --halo-pops 5 gives the minimal-PDF exchange instead.
+  spec.halo_populations =
+      static_cast<int>(cli.get_or("halo-pops", std::int64_t{19}));
+
+  bench::print_header(
+      "Fig. 2 — LBM D3Q19 proxy: emergent structure vs model regularity",
+      std::to_string(cells) + "^3 cells (" +
+          fmt_bytes(workload::lbm_working_set(spec)) + " working set), " +
+          std::to_string(ranks) + " ranks on " + std::to_string(ranks / 20) +
+          " nodes, " + std::to_string(steps) + " steps");
+
+  core::ClusterConfig config;
+  config.topo = net::TopologySpec::packed(ranks, 10);
+  config.memory = core::MemorySystem{};
+  config.system_noise = noise::NoiseSpec::system("emmy-smt-on");
+  config.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{5}));
+
+  core::Cluster cluster(config);
+  const auto trace = cluster.run(workload::build_lbm(spec));
+
+  // The nonoverlapping model: per-step exec (socket-shared bandwidth) plus
+  // halo exchange at the internode bandwidth.
+  const double exec_s = static_cast<double>(workload::lbm_bytes_per_rank(spec)) /
+                        (40e9 / 10.0);
+  const double comm_s =
+      2.0 * static_cast<double>(workload::lbm_halo_bytes(spec)) / 3e9;
+  const double model_step_s = exec_s + comm_s;
+
+  const std::vector<int> snapshots{1,    20,   60,   100,
+                                   500,  1000, 2000, 5000, 10000};
+  TextTable table;
+  table.columns({"t", "model pos [s]", "actual median [s]", "spread [ms]",
+                 "deviation [%]"});
+  csv.header({"t", "model_s", "median_s", "min_s", "max_s", "spread_ms"});
+
+  for (const int t : snapshots) {
+    if (t >= steps) break;
+    std::vector<double> pos;
+    pos.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r)
+      pos.push_back(
+          trace.step_begin(r)[static_cast<std::size_t>(t)].sec());
+    const Summary s = summarize(pos);
+    const double model_pos = model_step_s * t;
+    table.add_row({std::to_string(t), fmt_fixed(model_pos, 3),
+                   fmt_fixed(s.median, 3),
+                   fmt_fixed((s.max - s.min) * 1e3, 1),
+                   fmt_fixed((s.median / model_pos - 1.0) * 100.0, 2)});
+    csv.row({std::to_string(t), csv_num(model_pos), csv_num(s.median),
+             csv_num(s.min), csv_num(s.max),
+             csv_num((s.max - s.min) * 1e3)});
+
+    if (positions) {
+      std::cout << "t = " << t << " per-rank positions [s]:";
+      for (int r = 0; r < ranks; r += 10)
+        std::cout << ' ' << fmt_fixed(pos[static_cast<std::size_t>(r)], 4);
+      std::cout << '\n';
+    }
+  }
+  std::cout << table.render() << "\n";
+
+  // Communication share, as a sanity anchor against the paper's >= 30%.
+  double wait_ns = 0, total_ns = 0;
+  for (int r = 0; r < ranks; ++r) {
+    wait_ns += static_cast<double>(trace.total(r, mpi::SegKind::wait).ns());
+    total_ns += static_cast<double>((trace.finish(r) - SimTime::zero()).ns());
+  }
+  std::cout << "communication share of runtime: "
+            << fmt_fixed(wait_ns / total_ns * 100.0, 1) << " %\n";
+  std::cout
+      << "Paper: near-model regularity for t <= 100, then an emergent\n"
+         "long-wavelength structure with ~0.3 s amplitude by t = 500, and a\n"
+         "final runtime ~2.5 % FASTER than the model. The simulator\n"
+         "reproduces the >= 30 % communication share and a monotonically\n"
+         "growing spread, but the processor-sharing bus model lacks the\n"
+         "self-amplifying desynchronization of the real machine, so the\n"
+         "spread stays small and the deviation is positive (the model\n"
+         "ignores the intra-node copies we charge to the bus). See\n"
+         "EXPERIMENTS.md for the full discussion.\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

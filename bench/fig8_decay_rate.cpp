@@ -1,0 +1,112 @@
+// Fig. 8 reproduction: average decay rate of an idle wave vs the injected
+// exponential noise level E (mean relative delay per execution phase), on
+// three systems: the InfiniBand profile, the Omni-Path profile, and the
+// bare Hockney-model simulator. 15 runs per point; median/min/max reported,
+// exactly like the paper's plot.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/delay.hpp"
+
+namespace {
+
+struct SystemUnderTest {
+  const char* label;
+  iw::net::FabricProfile fabric;
+  iw::noise::NoiseSpec system_noise;
+};
+
+double decay_for(const SystemUnderTest& sut, double E_percent,
+                 std::uint64_t seed, double delay_ms) {
+  using namespace iw;
+  workload::RingSpec ring;
+  ring.ranks = 40;
+  ring.direction = workload::Direction::bidirectional;
+  ring.boundary = workload::Boundary::periodic;
+  ring.msg_bytes = 8192;
+  ring.steps = 40;
+  ring.texec = milliseconds(3.0);
+
+  core::WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = core::cluster_for_ring(ring, /*ppn1=*/false, 10);
+  exp.cluster.fabric = sut.fabric;
+  exp.cluster.system_noise = sut.system_noise;
+  exp.cluster.seed = seed;
+  exp.delays = workload::single_delay(5, 0, milliseconds(delay_ms));
+  if (E_percent > 0)
+    exp.injected_noise =
+        noise::NoiseSpec::exponential(milliseconds(3.0 * E_percent / 100.0));
+  exp.min_idle = milliseconds(3.0);
+  return core::run_wave_experiment(exp).up.decay_us_per_rank;
+}
+
+}  // namespace
+
+int bench_main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"out", "runs", "delay-ms"});
+  auto csv = bench::csv_from_cli(cli);
+  const int runs = static_cast<int>(cli.get_or("runs", std::int64_t{15}));
+  const double delay_ms = cli.get_or("delay-ms", 90.0);
+
+  bench::print_header(
+      "Fig. 8 — idle-wave decay rate vs injected noise level",
+      "90 ms delay, Texec = 3 ms, bidirectional periodic, 40 ranks; " +
+          std::to_string(runs) + " runs per point (median [min, max])");
+
+  const SystemUnderTest systems[] = {
+      {"InfiniBand system", net::FabricProfile::infiniband_qdr(),
+       noise::NoiseSpec::system("emmy-smt-on")},
+      {"Omni-Path system", net::FabricProfile::omnipath(),
+       noise::NoiseSpec::system("meggie-smt-off")},
+      {"Simulated system", net::FabricProfile::ideal(microseconds(1.5), 3e9),
+       noise::NoiseSpec::none()},
+  };
+
+  const std::vector<double> levels{0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+
+  TextTable table;
+  table.columns({"E [%]", "InfiniBand [us/rank]", "Omni-Path [us/rank]",
+                 "Simulated [us/rank]"});
+  csv.header({"E_percent", "system", "median_us_per_rank", "min", "max"});
+
+  for (const double E : levels) {
+    std::vector<std::string> row{fmt_fixed(E, 1)};
+    for (const auto& sut : systems) {
+      std::vector<double> betas;
+      for (int r = 0; r < runs; ++r)
+        betas.push_back(
+            decay_for(sut, E, static_cast<std::uint64_t>(r) + 1, delay_ms));
+      const Summary s = summarize(betas);
+      row.push_back(fmt_fixed(s.median, 0) + " [" + fmt_fixed(s.min, 0) +
+                    ", " + fmt_fixed(s.max, 0) + "]");
+      csv.row({csv_num(E), sut.label, csv_num(s.median), csv_num(s.min),
+               csv_num(s.max)});
+    }
+    table.add_row(row);
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout
+      << "Expected per the paper: decay ~0 at E = 0, a clear positive\n"
+         "correlation between noise level and decay rate, and no\n"
+         "qualitative difference between the three systems (the decay is\n"
+         "driven by the injected noise, not the platform).\n"
+         "Note on magnitude: the paper reports up to ~6000-8000 us/rank at\n"
+         "E = 10%; the simulator's noisy background advances more slowly\n"
+         "than the real clusters' (see EXPERIMENTS.md), so absolute decay\n"
+         "rates here are smaller while the trend and system-independence\n"
+         "hold.\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

@@ -1,0 +1,117 @@
+// Fig. 9 reproduction: damping of an idle wave by exponential noise of
+// different average duration on 36 ranks (six processes per socket on six
+// sockets). A 6 ms idle wave (four 1.5 ms phases) is injected at rank 1,
+// step 1; the run lasts 30 time steps.
+//
+// Paper: ttotal = 51.1 ms (E=0), 82.7 ms (E=20%), 84.6 ms (E=25%); at 25%
+// the excess runtime vanishes — the wave is absorbed by the noise.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/timeline.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/delay.hpp"
+
+namespace {
+
+iw::core::WaveResult run_fig9(double E_percent, bool with_delay,
+                              std::uint64_t seed) {
+  using namespace iw;
+  workload::RingSpec ring;
+  ring.ranks = 36;
+  ring.direction = workload::Direction::bidirectional;
+  ring.boundary = workload::Boundary::periodic;
+  ring.msg_bytes = 8192;
+  ring.steps = 30;
+  ring.texec = milliseconds(1.5);
+
+  core::WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = core::cluster_for_ring(ring, /*ppn1=*/false, 6);
+  exp.cluster.system_noise = noise::NoiseSpec::system("emmy-smt-on");
+  exp.cluster.seed = seed;
+  if (with_delay)
+    exp.delays = workload::single_delay(1, 1, milliseconds(6.0));
+  if (E_percent > 0)
+    exp.injected_noise =
+        noise::NoiseSpec::exponential(milliseconds(1.5 * E_percent / 100.0));
+  return core::run_wave_experiment(exp);
+}
+
+}  // namespace
+
+int bench_main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"out", "timelines", "runs"});
+  auto csv = bench::csv_from_cli(cli);
+  const bool timelines = cli.get_or("timelines", std::int64_t{1}) != 0;
+  const int runs = static_cast<int>(cli.get_or("runs", std::int64_t{9}));
+
+  bench::print_header(
+      "Fig. 9 — idle-period elimination by fine-grained noise",
+      "36 ranks (6/socket), 30 steps, Texec = 1.5 ms, 6 ms wave at rank 1; "
+      "paper: ttotal = 51.1 / 82.7 / 84.6 ms at E = 0 / 20 / 25 %");
+
+  TextTable table;
+  table.columns({"E [%]", "ttotal [ms] (median)", "paper ttotal [ms]",
+                 "excess vs no-delay [ms]", "wave absorbed?"});
+  csv.header({"E_percent", "ttotal_ms", "excess_ms"});
+
+  struct Level {
+    double E;
+    const char* paper;
+  };
+  // E = 40/50 % extend the paper's sweep: our simulated background absorbs
+  // more slowly, so full elimination appears at a higher noise level.
+  const Level levels[] = {
+      {0.0, "51.1"}, {20.0, "82.7"}, {25.0, "84.6"}, {40.0, "-"}, {50.0, "-"}};
+
+  for (const auto& level : levels) {
+    std::vector<double> totals, excesses;
+    for (int r = 0; r < runs; ++r) {
+      const auto seed = static_cast<std::uint64_t>(r) + 1;
+      const auto with = run_fig9(level.E, true, seed);
+      const auto without = run_fig9(level.E, false, seed);
+      totals.push_back(with.trace.makespan().ms());
+      excesses.push_back(with.trace.makespan().ms() -
+                         without.trace.makespan().ms());
+    }
+    const double total_med = median(totals);
+    const double excess_med = median(excesses);
+    table.add_row({fmt_fixed(level.E, 0), fmt_fixed(total_med, 1),
+                   level.paper, fmt_fixed(excess_med, 2),
+                   excess_med < 2.0   ? "yes"
+                   : excess_med < 4.0 ? "partially"
+                                      : "no"});
+    csv.row({csv_num(level.E), csv_num(total_med), csv_num(excess_med)});
+
+    if (timelines && (level.E == 0.0 || level.E == 25.0 || level.E == 50.0)) {
+      const auto show = run_fig9(level.E, true, 1);
+      std::cout << "--- E = " << level.E << "% ---\n";
+      core::TimelineOptions opts;
+      opts.columns = 100;
+      opts.socket_separators = true;
+      opts.ranks_per_socket = 6;
+      std::cout << core::render_timeline(show.trace, opts) << "\n";
+    }
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout
+      << "Expected: at E = 0 the excess equals the injected 6 ms; the\n"
+         "excess shrinks monotonically with E until the wave is fully\n"
+         "absorbed. The paper reaches full absorption at E = 25%; this\n"
+         "simulator reaches it near E = 50% because its noisy background\n"
+         "advances at ~2x the injected mean per step instead of the real\n"
+         "clusters' faster coupled pace (see EXPERIMENTS.md).\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

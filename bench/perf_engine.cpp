@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks of the simulator itself: event-engine
+// throughput, transport message rate, and end-to-end ring-simulation cost.
+// These guard the usability of the harness (a Fig. 8 sweep runs ~3000
+// simulations).
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "sim/engine.hpp"
+#include "workload/delay.hpp"
+#include "workload/ring.hpp"
+
+namespace {
+
+using namespace iw;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const auto events = static_cast<int>(state.range(0));
+    for (int i = 0; i < events; ++i)
+      engine.after(Duration{i}, [] {});
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  // Chained events (each schedules the next): the pattern processes use.
+  for (auto _ : state) {
+    sim::Engine engine;
+    const auto depth = static_cast<std::int64_t>(state.range(0));
+    std::int64_t remaining = depth;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) engine.after(Duration{1}, step);
+    };
+    engine.after(Duration{1}, step);
+    engine.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineSelfScheduling)->Arg(100000);
+
+void BM_RingSimulation(benchmark::State& state) {
+  // End-to-end cost of one bulk-synchronous ring simulation.
+  const int ranks = static_cast<int>(state.range(0));
+  const int steps = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    workload::RingSpec ring;
+    ring.ranks = ranks;
+    ring.direction = workload::Direction::bidirectional;
+    ring.boundary = workload::Boundary::periodic;
+    ring.steps = steps;
+    ring.texec = milliseconds(1.0);
+
+    core::WaveExperiment exp;
+    exp.ring = ring;
+    exp.cluster = core::cluster_for_ring(ring, false, 10);
+    exp.cluster.system_noise = noise::NoiseSpec::system("emmy-smt-on");
+    exp.delays = workload::single_delay(ranks / 3, 0, milliseconds(5.0));
+    const auto result = core::run_wave_experiment(exp);
+    benchmark::DoNotOptimize(result.trace.makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * steps);
+  state.SetLabel("rank-steps/s");
+}
+BENCHMARK(BM_RingSimulation)
+    ->Args({20, 20})
+    ->Args({100, 20})
+    ->Args({100, 100})
+    ->Args({400, 50});
+
+void BM_RendezvousRing(benchmark::State& state) {
+  // Rendezvous is ~4x the protocol events of eager; track it separately.
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    workload::RingSpec ring;
+    ring.ranks = ranks;
+    ring.direction = workload::Direction::bidirectional;
+    ring.boundary = workload::Boundary::periodic;
+    ring.msg_bytes = 174080;
+    ring.steps = 20;
+    ring.texec = milliseconds(1.0);
+
+    core::WaveExperiment exp;
+    exp.ring = ring;
+    exp.cluster = core::cluster_for_ring(ring, false, 10);
+    exp.delays = workload::single_delay(ranks / 3, 0, milliseconds(5.0));
+    const auto result = core::run_wave_experiment(exp);
+    benchmark::DoNotOptimize(result.up.speed_ranks_per_sec);
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * 20);
+}
+BENCHMARK(BM_RendezvousRing)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

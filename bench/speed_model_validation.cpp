@@ -1,0 +1,93 @@
+// Eq. 2 validation: v_silent = sigma * d / (Texec + Tcomm) across the full
+// mode grid — both protocols, both directions, d in {1, 2, 3}, and three
+// execution granularities. This is the quantitative core of the paper's
+// Sec. IV-C; the paper's own model (unlike Markidis et al.'s) includes the
+// "pivotal ingredients" sigma and d.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/speed_model.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/delay.hpp"
+
+int bench_main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"out", "ranks"});
+  auto csv = bench::csv_from_cli(cli);
+  const int ranks = static_cast<int>(cli.get_or("ranks", std::int64_t{24}));
+
+  bench::print_header(
+      "Eq. 2 validation — v_silent = sigma*d/(Texec+Tcomm)",
+      "silent system, open boundary, 1 ppn, " + std::to_string(ranks) +
+          " ranks; measured front speed vs the analytic model");
+
+  TextTable table;
+  table.columns({"protocol", "direction", "d", "Texec", "cycle", "sigma",
+                 "v_meas [r/s]", "v_eq2 [r/s]", "error [%]"});
+  csv.header({"protocol", "direction", "d", "texec_ms", "cycle_ms", "sigma",
+              "v_meas", "v_eq2", "err_percent"});
+
+  double worst_err = 0.0;
+  for (const std::int64_t msg : {std::int64_t{16384}, std::int64_t{174080}}) {
+    for (const auto dir : {workload::Direction::unidirectional,
+                           workload::Direction::bidirectional}) {
+      for (const int d : {1, 2, 3}) {
+        for (const double texec_ms : {1.5, 3.0, 6.0}) {
+          workload::RingSpec ring;
+          ring.ranks = ranks;
+          ring.direction = dir;
+          ring.boundary = workload::Boundary::open;
+          ring.distance = d;
+          ring.msg_bytes = msg;
+          ring.steps = 24;
+          ring.texec = milliseconds(texec_ms);
+          ring.noisy = false;
+
+          core::WaveExperiment exp;
+          exp.ring = ring;
+          exp.cluster = core::cluster_for_ring(ring);
+          exp.delays = workload::single_delay(
+              ranks / 3, 0, milliseconds(6.0 * texec_ms));
+          exp.min_idle = milliseconds(texec_ms / 4.0);
+
+          const auto result = core::run_wave_experiment(exp);
+          const int sigma = core::sigma_factor(dir, result.protocol);
+          const double err =
+              (result.up.speed_ranks_per_sec / result.predicted_speed - 1.0) *
+              100.0;
+          worst_err = std::max(worst_err, std::abs(err));
+
+          const char* proto =
+              result.protocol == mpi::WireProtocol::eager ? "eager" : "rndv";
+          table.add_row({proto,
+                         dir == workload::Direction::unidirectional ? "uni"
+                                                                    : "bidi",
+                         std::to_string(d), fmt_duration(ring.texec),
+                         fmt_duration(result.measured_cycle),
+                         std::to_string(sigma),
+                         fmt_fixed(result.up.speed_ranks_per_sec, 1),
+                         fmt_fixed(result.predicted_speed, 1),
+                         fmt_fixed(err, 2)});
+          csv.row({proto,
+                   dir == workload::Direction::unidirectional ? "uni" : "bidi",
+                   std::to_string(d), csv_num(texec_ms),
+                   csv_num(result.measured_cycle.ms()), std::to_string(sigma),
+                   csv_num(result.up.speed_ranks_per_sec),
+                   csv_num(result.predicted_speed), csv_num(err)});
+        }
+      }
+    }
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout << "worst |error| across the grid: " << fmt_fixed(worst_err, 2)
+            << " % (staircase-fit granularity grows with sigma*d)\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

@@ -1,0 +1,99 @@
+// Example: deliberately injecting fine-grained noise to protect an
+// application from idle waves (paper Sec. V).
+//
+// Sweeps the injected exponential noise level E and reports, for a fixed
+// one-off delay, how far the wave survives, its decay rate, and what the
+// delay ends up costing in wall-clock time. The counterintuitive headline
+// of the paper: a *noisier* system can be immune to the adverse effect of
+// a long delay.
+//
+//   ./build/examples/noise_damping [--delay-ms 12] [--runs 5]
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/delay.hpp"
+
+namespace {
+
+struct Outcome {
+  double survival_hops;
+  double decay_us_per_rank;
+  double excess_ms;   // wall-clock cost of the delay
+  double runtime_ms;  // total runtime
+};
+
+Outcome measure(double E_percent, double delay_ms, int runs) {
+  using namespace iw;
+  std::vector<double> survival, decay, excess, runtime;
+  for (int r = 0; r < runs; ++r) {
+    workload::RingSpec ring;
+    ring.ranks = 40;
+    ring.direction = workload::Direction::bidirectional;
+    ring.boundary = workload::Boundary::periodic;
+    ring.msg_bytes = 8192;
+    ring.steps = 36;
+    ring.texec = milliseconds(3.0);
+
+    core::WaveExperiment exp;
+    exp.ring = ring;
+    exp.cluster = core::cluster_for_ring(ring, /*ppn1=*/false, 10);
+    exp.cluster.system_noise = noise::NoiseSpec::system("emmy-smt-on");
+    exp.cluster.seed = static_cast<std::uint64_t>(r) + 1;
+    exp.min_idle = milliseconds(3.0);
+    if (E_percent > 0)
+      exp.injected_noise = noise::NoiseSpec::exponential(
+          milliseconds(3.0 * E_percent / 100.0));
+
+    // Paired runs: with and without the delay, same seed.
+    core::WaveExperiment baseline = exp;
+    exp.delays = workload::single_delay(7, 0, milliseconds(delay_ms));
+    const auto with_delay = core::run_wave_experiment(exp);
+    const auto without_delay = core::run_wave_experiment(baseline);
+
+    survival.push_back(with_delay.up.survival_hops);
+    decay.push_back(with_delay.up.decay_us_per_rank);
+    excess.push_back(with_delay.trace.makespan().ms() -
+                     without_delay.trace.makespan().ms());
+    runtime.push_back(with_delay.trace.makespan().ms());
+  }
+  return Outcome{median(survival), median(decay), median(excess),
+                 median(runtime)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"delay-ms", "runs"});
+  const double delay_ms = cli.get_or("delay-ms", 12.0);
+  const int runs = static_cast<int>(cli.get_or("runs", std::int64_t{5}));
+
+  std::cout << "=== damping a " << fmt_fixed(delay_ms, 0)
+            << " ms one-off delay with injected noise ===\n"
+            << "40 ranks, bidirectional periodic ring, Texec = 3 ms, "
+            << runs << " runs per level (medians)\n\n";
+
+  TextTable table;
+  table.columns({"E [%]", "wave survival [hops]", "decay [us/rank]",
+                 "delay cost [ms]", "total runtime [ms]"});
+  for (const double E : {0.0, 5.0, 10.0, 20.0, 30.0, 50.0}) {
+    const Outcome o = measure(E, delay_ms, runs);
+    table.add_row({fmt_fixed(E, 0), fmt_fixed(o.survival_hops, 0),
+                   fmt_fixed(o.decay_us_per_rank, 0),
+                   fmt_fixed(o.excess_ms, 2), fmt_fixed(o.runtime_ms, 1)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout
+      << "Reading the table: the decay rate grows with E and the wall-clock\n"
+         "cost attributable to the delay shrinks — the noise absorbs the\n"
+         "idle wave. The total runtime still grows with E: noise is not\n"
+         "free, it only makes the system immune to one-off delays.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Example: why simple performance models fail — strong scaling of a
+// memory-bound kernel with automatic overlap (paper Sec. I-B, Fig. 1).
+//
+// Runs the MPI-parallel STREAM triad on a growing number of sockets and
+// compares three numbers per point: the optimistic nonoverlapping model
+// (Eq. 1), the simulated "measurement", and the execution-only view. The
+// point of the exercise: the measurement disagrees with the model in BOTH
+// directions at once — total performance falls short (intra-node traffic),
+// while per-rank execution performance beats the model (desync overlap).
+//
+//   ./build/examples/stream_scaling [--max-sockets 6] [--steps 80]
+#include <iostream>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "core/runtime_model.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "workload/stream_triad.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"max-sockets", "steps"});
+  const int max_sockets =
+      static_cast<int>(cli.get_or("max-sockets", std::int64_t{6}));
+  const int steps = static_cast<int>(cli.get_or("steps", std::int64_t{80}));
+
+  std::cout << "=== STREAM triad strong scaling: model vs simulation ===\n"
+            << "A(:) = B(:) + s*C(:), 5e7 elements (1.2 GB), 2 MB ring "
+               "halos, 10 ranks/socket\n\n";
+
+  const core::StreamModelParams model;
+  TextTable table;
+  table.columns({"sockets", "model [GF/s]", "simulated [GF/s]",
+                 "sim/model", "exec-only sim [GF/s]", "exec-only model"});
+
+  for (int sockets = 1; sockets <= max_sockets; ++sockets) {
+    workload::StreamTriadSpec spec;
+    spec.ranks = sockets * 10;
+    spec.steps = steps;
+
+    core::ClusterConfig config;
+    config.topo = net::TopologySpec::packed(spec.ranks, 10);
+    config.memory = core::MemorySystem{};
+    config.system_noise = noise::NoiseSpec::system("emmy-smt-on");
+
+    core::Cluster cluster(config);
+    const auto trace = cluster.run(workload::build_stream_triad(spec));
+    const Duration cycle =
+        core::measured_cycle(trace, 0, steps / 2, steps - 1);
+    const double sim =
+        core::performance_from_time(workload::triad_flops_per_step(spec),
+                                    cycle) / 1e9;
+
+    // Execution-only: flops over the mean pure-compute time per step.
+    double ns = 0;
+    int count = 0;
+    for (int r = 0; r < spec.ranks; ++r)
+      for (const auto& seg : trace.segments(r))
+        if (seg.kind == mpi::SegKind::compute && seg.step >= steps / 2) {
+          ns += static_cast<double>(seg.duration().ns());
+          ++count;
+        }
+    const double exec_sim =
+        static_cast<double>(workload::triad_flops_per_step(spec)) /
+        (ns / count * 1e-9) / 1e9 / spec.ranks;
+
+    const double model_total = core::stream_performance(model, sockets) / 1e9;
+    const double model_exec =
+        core::stream_exec_performance(model, sockets) / 1e9;
+    table.add_row({std::to_string(sockets), fmt_fixed(model_total, 2),
+                   fmt_fixed(sim, 2), fmt_fixed(sim / model_total, 2),
+                   fmt_fixed(exec_sim, 2), fmt_fixed(model_exec, 2)});
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout
+      << "sim/model < 1 at scale: the Eq. 1 model is optimistic because it\n"
+         "ignores intra-node message traffic, which shares the memory bus\n"
+         "with the triad itself. Meanwhile exec-only sim > exec-only model:\n"
+         "desynchronized ranks overlap their communication with other\n"
+         "ranks' computation and see less bandwidth contention. Both\n"
+         "deviations are emergent — the workload is perfectly balanced.\n";
+  return 0;
+}

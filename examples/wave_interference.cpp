@@ -1,0 +1,70 @@
+// Example: two idle waves colliding — the nonlinearity of delay propagation.
+//
+// Injects two one-off delays of different length on a periodic ring and
+// renders the timeline. The waves travel toward each other, partially
+// cancel where they meet, and only the residual of the longer one survives
+// — the behaviour that rules out a linear wave-equation description
+// (paper Sec. IV-B).
+//
+//   ./build/examples/wave_interference [--delay-a-ms 9] [--delay-b-ms 4.5]
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/timeline.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iw;
+  const Cli cli(argc, argv);
+  cli.allow_only({"delay-a-ms", "delay-b-ms", "ranks"});
+  const double delay_a = cli.get_or("delay-a-ms", 9.0);
+  const double delay_b = cli.get_or("delay-b-ms", 4.5);
+  const int ranks = static_cast<int>(cli.get_or("ranks", std::int64_t{30}));
+
+  workload::RingSpec ring;
+  ring.ranks = ranks;
+  ring.direction = workload::Direction::bidirectional;
+  ring.boundary = workload::Boundary::periodic;
+  ring.msg_bytes = 16384;
+  ring.steps = 18;
+  ring.texec = milliseconds(3.0);
+  ring.noisy = false;  // keep the picture clean
+
+  core::WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = core::cluster_for_ring(ring);
+  exp.delays = {
+      workload::DelaySpec{ranks / 5, 0, milliseconds(delay_a)},
+      workload::DelaySpec{ranks * 7 / 10, 0, milliseconds(delay_b)},
+  };
+
+  const auto result = core::run_wave_experiment(exp);
+
+  std::cout << "=== wave interference: " << fmt_fixed(delay_a, 1)
+            << " ms at rank " << ranks / 5 << " vs " << fmt_fixed(delay_b, 1)
+            << " ms at rank " << ranks * 7 / 10 << " ===\n\n";
+  core::TimelineOptions opts;
+  opts.columns = 110;
+  std::cout << core::render_timeline(result.trace, opts) << "\n";
+
+  const Duration makespan = result.trace.makespan() - SimTime::zero();
+  const Duration ideal = ring.texec * ring.steps;
+  const double longest = std::max(delay_a, delay_b);
+  const double sum = delay_a + delay_b;
+
+  TextTable table;
+  table.columns({"quantity", "value [ms]"});
+  table.add_row({"ideal runtime (no delays)", fmt_fixed(ideal.ms(), 2)});
+  table.add_row({"actual makespan", fmt_fixed(makespan.ms(), 2)});
+  table.add_row({"excess", fmt_fixed((makespan - ideal).ms(), 2)});
+  table.add_row({"longest single delay", fmt_fixed(longest, 2)});
+  table.add_row({"sum of delays (linear superposition)", fmt_fixed(sum, 2)});
+  std::cout << table.render() << "\n";
+
+  std::cout << "The excess matches the LONGEST delay, not the SUM: where the\n"
+               "waves meet, the shorter one is annihilated and only the\n"
+               "difference keeps propagating. Idle waves are nonlinear.\n";
+  return 0;
+}

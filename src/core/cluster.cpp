@@ -1,0 +1,90 @@
+#include "core/cluster.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace iw::core {
+namespace {
+
+/// Stream-purpose identifiers for Rng::for_stream.
+constexpr std::uint64_t kSystemNoiseStream = 0;
+constexpr std::uint64_t kInjectedNoiseStream = 1;
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      topo_(config_.topo),
+      transport_(engine_, topo_, config_.fabric, config_.transport) {}
+
+Duration Cluster::message_time(int src, int dst, std::int64_t bytes) const {
+  if (transport_.protocol_for(src, dst, bytes) == mpi::WireProtocol::eager)
+    return transport_.eager_transfer_time(src, dst, bytes);
+  return transport_.rendezvous_transfer_time(src, dst, bytes);
+}
+
+mpi::Trace Cluster::run(const std::vector<mpi::Program>& programs,
+                        const noise::NoiseSpec& injected_noise) {
+  IW_REQUIRE(!ran_, "a Cluster instance can run only once");
+  IW_REQUIRE(static_cast<int>(programs.size()) == topo_.ranks(),
+             "need exactly one program per rank");
+  ran_ = true;
+
+  mpi::Trace trace(topo_.ranks());
+
+  // Socket bandwidth domains (only when memory-bound work is configured).
+  // They serve both OpMemWork phases and — via the transport — intra-node
+  // message copies, which contend with computation for the memory bus.
+  if (config_.memory) {
+    domains_.reserve(static_cast<std::size_t>(topo_.sockets()));
+    for (int s = 0; s < topo_.sockets(); ++s)
+      domains_.push_back(std::make_unique<memory::BandwidthDomain>(
+          engine_, config_.memory->socket_bandwidth_Bps,
+          config_.memory->core_bandwidth_Bps));
+    transport_.set_memory_domains([this](int rank) {
+      return domains_[static_cast<std::size_t>(topo_.socket_of(rank))].get();
+    });
+  }
+
+  std::vector<std::unique_ptr<mpi::Process>> processes;
+  processes.reserve(programs.size());
+  for (int rank = 0; rank < topo_.ranks(); ++rank) {
+    auto proc = std::make_unique<mpi::Process>(rank, engine_, transport_,
+                                               trace);
+    proc->set_program(std::make_shared<const mpi::Program>(
+        programs[static_cast<std::size_t>(rank)]));
+    if (config_.system_noise.kind != noise::NoiseSpec::Kind::none) {
+      proc->add_noise(config_.system_noise.build(),
+                      Rng::for_stream(config_.seed,
+                                      static_cast<std::uint64_t>(rank),
+                                      kSystemNoiseStream));
+    }
+    if (injected_noise.kind != noise::NoiseSpec::Kind::none) {
+      proc->add_noise(injected_noise.build(),
+                      Rng::for_stream(config_.seed,
+                                      static_cast<std::uint64_t>(rank),
+                                      kInjectedNoiseStream));
+    }
+    if (!domains_.empty())
+      proc->set_domain(
+          domains_[static_cast<std::size_t>(topo_.socket_of(rank))].get());
+    processes.push_back(std::move(proc));
+  }
+
+  transport_.set_completion_handler(
+      [&processes](int rank, mpi::RequestId request) {
+        processes[static_cast<std::size_t>(rank)]->on_request_complete(
+            request);
+      });
+
+  for (auto& proc : processes) proc->start();
+  engine_.run();
+
+  for (const auto& proc : processes)
+    IW_ASSERT(proc->done(), "deadlock: a process never finished its program");
+
+  return trace;
+}
+
+}  // namespace iw::core

@@ -1,0 +1,84 @@
+// Cluster: the one-call assembly of engine + topology + fabric + noise +
+// processes. This is the main entry point of the idlewave public API:
+//
+//   core::ClusterConfig config;
+//   config.topo = net::TopologySpec::one_rank_per_node(18);
+//   core::Cluster cluster(config);
+//   mpi::Trace trace = cluster.run(workload::build_ring(spec, delays));
+//
+// A Cluster instance executes exactly one simulation run (the engine's
+// clock cannot be rewound); sweeps construct a fresh Cluster per run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "memory/bandwidth_domain.hpp"
+#include "mpi/process.hpp"
+#include "mpi/trace.hpp"
+#include "mpi/transport.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "noise/system_profiles.hpp"
+#include "sim/engine.hpp"
+
+namespace iw::core {
+
+/// Socket-level memory system parameters, enabling OpMemWork phases.
+/// Defaults match the paper's Ivy Bridge sockets: bmem ~ 40 GB/s, and a
+/// single core drawing ~1/6 of that (the paper observes PPN=1 node
+/// performance at "about 1/6 of the saturated case").
+struct MemorySystem {
+  double socket_bandwidth_Bps = 40e9;
+  double core_bandwidth_Bps = 6.7e9;
+};
+
+struct ClusterConfig {
+  net::TopologySpec topo;
+  net::FabricProfile fabric = net::FabricProfile::infiniband_qdr();
+  noise::NoiseSpec system_noise = noise::NoiseSpec::none();
+  mpi::Transport::Options transport;
+  std::optional<MemorySystem> memory;  ///< required for memory-bound work
+  std::uint64_t seed = 0x1D1E57A7Eull;  // "idle state"
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Runs one program per rank to completion and returns the trace.
+  /// `injected_noise` adds a second per-phase noise source on every rank —
+  /// the paper's fine-grained exponential injection with mean E*Texec.
+  /// Callable exactly once per Cluster.
+  mpi::Trace run(const std::vector<mpi::Program>& programs,
+                 const noise::NoiseSpec& injected_noise =
+                     noise::NoiseSpec::none());
+
+  [[nodiscard]] const net::Topology& topology() const { return topo_; }
+  [[nodiscard]] const mpi::Transport::Stats& transport_stats() const {
+    return transport_.stats();
+  }
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return engine_.events_processed();
+  }
+
+  /// End-to-end one-message communication time between two ranks, matching
+  /// the protocol the transport would pick — the `Tcomm` for Eq. 2.
+  [[nodiscard]] Duration message_time(int src, int dst,
+                                      std::int64_t bytes) const;
+
+ private:
+  ClusterConfig config_;
+  sim::Engine engine_;
+  net::Topology topo_;
+  mpi::Transport transport_;
+  std::vector<std::unique_ptr<memory::BandwidthDomain>> domains_;
+  bool ran_ = false;
+};
+
+}  // namespace iw::core

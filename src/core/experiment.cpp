@@ -1,0 +1,109 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "core/speed_model.hpp"
+#include "support/stats.hpp"
+#include "support/error.hpp"
+
+namespace iw::core {
+
+Duration measured_cycle(const mpi::Trace& trace, int rank, int from_step,
+                        int to_step) {
+  const auto& marks = trace.step_begin(rank);
+  IW_REQUIRE(from_step >= 0 && to_step > from_step, "bad step range");
+  IW_REQUIRE(static_cast<std::size_t>(to_step) < marks.size(),
+             "step range exceeds the trace");
+  // Median of consecutive step-begin differences: robust against the few
+  // steps inflated by a passing idle wave.
+  std::vector<double> diffs;
+  diffs.reserve(static_cast<std::size_t>(to_step - from_step));
+  for (int s = from_step; s < to_step; ++s)
+    diffs.push_back(static_cast<double>(
+        (marks[static_cast<std::size_t>(s + 1)] -
+         marks[static_cast<std::size_t>(s)])
+            .ns()));
+  return Duration{static_cast<std::int64_t>(median(diffs) + 0.5)};
+}
+
+SimTime injection_begin(const mpi::Trace& trace, int rank) {
+  for (const auto& seg : trace.segments(rank))
+    if (seg.kind == mpi::SegKind::injected) return seg.begin;
+  return SimTime::zero();
+}
+
+ClusterConfig cluster_for_ring(const workload::RingSpec& ring, bool ppn1,
+                               int per_socket) {
+  ClusterConfig config;
+  config.topo = ppn1 ? net::TopologySpec::one_rank_per_node(ring.ranks)
+                     : net::TopologySpec::packed(ring.ranks, per_socket);
+  return config;
+}
+
+WaveResult run_wave_experiment(const WaveExperiment& exp) {
+  Cluster cluster(exp.cluster);
+  const auto programs = workload::build_ring(exp.ring, exp.delays);
+
+  WaveResult result{cluster.run(programs, exp.injected_noise),
+                    {}, {}, mpi::WireProtocol::eager, Duration::zero(), 0.0,
+                    SimTime::zero()};
+
+  // Protocol from the static size rule (the buffer-capacity fallback does
+  // not trigger in bulk-synchronous rings: backlogs drain every step).
+  const std::int64_t limit =
+      exp.cluster.transport.eager_limit_override >= 0
+          ? exp.cluster.transport.eager_limit_override
+          : exp.cluster.fabric.eager_limit_bytes;
+  result.protocol = exp.ring.msg_bytes > limit
+                        ? mpi::WireProtocol::rendezvous
+                        : mpi::WireProtocol::eager;
+
+  if (exp.delays.empty()) return result;
+
+  const int inj_rank = exp.delays.front().rank;
+  result.injection_time = injection_begin(result.trace, inj_rank);
+
+  WaveProbe probe;
+  probe.injection_rank = inj_rank;
+  probe.injection_time = result.injection_time;
+  probe.min_idle = exp.min_idle;
+  probe.boundary = exp.ring.boundary;
+
+  // A wave moving in *both* directions exists for bidirectional
+  // communication and for rendezvous (where the sender toward the delayed
+  // rank blocks too). On a periodic ring the probes must stop before the
+  // meeting point (both-ways) or before wrapping into the probed region
+  // (one-way), otherwise the front fit mixes the two branches.
+  const bool both_ways =
+      exp.ring.direction == workload::Direction::bidirectional ||
+      result.protocol == mpi::WireProtocol::rendezvous;
+  const int n = exp.ring.ranks;
+  if (exp.ring.boundary == workload::Boundary::periodic)
+    probe.max_hops = both_ways ? std::max(1, n / 2 - 1) : n - 1;
+
+  probe.direction = +1;
+  result.up = analyze_wave(result.trace, probe);
+  if (both_ways || exp.ring.boundary == workload::Boundary::open) {
+    probe.direction = -1;
+    result.down = analyze_wave(result.trace, probe);
+  }
+
+  // Steady-state cycle: median step length on the rank farthest from the
+  // injection, over all steps past the start-up transient. The median is
+  // robust against the handful of steps the wave inflates.
+  const int far_rank =
+      (inj_rank + exp.ring.ranks / 2) % exp.ring.ranks;
+  if (exp.ring.steps >= 4)
+    result.measured_cycle =
+        measured_cycle(result.trace, far_rank, 1, exp.ring.steps - 1);
+
+  if (result.measured_cycle.ns() > 0) {
+    const int sigma = sigma_factor(exp.ring.direction, result.protocol);
+    result.predicted_speed =
+        static_cast<double>(sigma) *
+        static_cast<double>(exp.ring.distance) / result.measured_cycle.sec();
+  }
+  return result;
+}
+
+}  // namespace iw::core

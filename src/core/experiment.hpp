@@ -1,0 +1,59 @@
+// High-level experiment driver: one-call idle-wave experiments.
+//
+// Bundles cluster assembly, ring workload construction, delay injection,
+// optional fine-grained noise injection, and wave analysis in both
+// directions — the shape of nearly every experiment in the paper.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/idle_wave.hpp"
+#include "mpi/message.hpp"
+#include "workload/ring.hpp"
+
+namespace iw::core {
+
+struct WaveExperiment {
+  ClusterConfig cluster;
+  workload::RingSpec ring;
+  std::vector<workload::DelaySpec> delays;
+  noise::NoiseSpec injected_noise = noise::NoiseSpec::none();
+  /// Threshold below which a wait does not count as "the wave".
+  Duration min_idle = milliseconds(0.5);
+};
+
+struct WaveResult {
+  mpi::Trace trace;
+  /// Wave analyses toward higher / lower ranks from the first delay.
+  WaveAnalysis up;
+  WaveAnalysis down;
+  /// Protocol the transport chose for the ring's message size.
+  mpi::WireProtocol protocol = mpi::WireProtocol::eager;
+  /// Measured steady-state compute-communicate cycle length (from step
+  /// markers of a rank the wave reaches last).
+  Duration measured_cycle;
+  /// Eq. 2 prediction using the measured cycle: sigma*d / cycle.
+  double predicted_speed = 0.0;
+  /// Injection wall-clock time (begin of the injected segment).
+  SimTime injection_time;
+};
+
+/// Runs the experiment. If `delays` is empty the wave analyses stay empty.
+[[nodiscard]] WaveResult run_wave_experiment(const WaveExperiment& exp);
+
+/// Mean distance between consecutive step-begin markers of `rank` over
+/// steps [from_step, to_step); the steady-state cycle time Texec + Tcomm.
+[[nodiscard]] Duration measured_cycle(const mpi::Trace& trace, int rank,
+                                      int from_step, int to_step);
+
+/// Begin time of the first injected-delay segment of `rank`; zero when none.
+[[nodiscard]] SimTime injection_begin(const mpi::Trace& trace, int rank);
+
+/// Builds a packed ClusterConfig for a ring spec: one rank per node when
+/// `ppn1`, otherwise `per_socket` ranks per socket.
+[[nodiscard]] ClusterConfig cluster_for_ring(const workload::RingSpec& ring,
+                                             bool ppn1 = true,
+                                             int per_socket = 10);
+
+}  // namespace iw::core

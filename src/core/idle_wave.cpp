@@ -1,0 +1,87 @@
+#include "core/idle_wave.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace iw::core {
+
+std::vector<IdlePeriod> idle_periods(const mpi::Trace& trace, int rank,
+                                     Duration min_duration) {
+  std::vector<IdlePeriod> periods;
+  for (const auto& seg : trace.segments(rank)) {
+    if (seg.kind != mpi::SegKind::wait) continue;
+    if (seg.duration() < min_duration) continue;
+    periods.push_back(IdlePeriod{rank, seg.begin, seg.end, seg.step});
+  }
+  return periods;
+}
+
+std::optional<int> rank_at_hops(int origin, int hops, int direction,
+                                int ranks, workload::Boundary boundary) {
+  IW_REQUIRE(ranks > 0, "need at least one rank");
+  IW_REQUIRE(direction == 1 || direction == -1, "direction must be +-1");
+  const int raw = origin + direction * hops;
+  if (boundary == workload::Boundary::periodic)
+    return ((raw % ranks) + ranks) % ranks;
+  if (raw < 0 || raw >= ranks) return std::nullopt;
+  return raw;
+}
+
+WaveAnalysis analyze_wave(const mpi::Trace& trace, const WaveProbe& probe) {
+  WaveAnalysis analysis;
+  const int n = trace.ranks();
+
+  int max_hops = probe.max_hops;
+  if (max_hops <= 0)
+    max_hops = n - 1;  // open: clipped by rank_at_hops; periodic: once around
+
+  bool front_broken = false;
+  for (int hops = 1; hops <= max_hops; ++hops) {
+    const auto rank =
+        rank_at_hops(probe.injection_rank, hops, probe.direction, n,
+                     probe.boundary);
+    if (!rank) break;  // walked off an open chain
+
+    WaveObservation obs;
+    obs.rank = *rank;
+    obs.hops = hops;
+    const auto periods = idle_periods(trace, *rank, probe.min_idle);
+    // The wave-attributable idle period must *end* after the injection
+    // began (a begin-time comparison would race with per-rank noise skew:
+    // the neighbor may enter its waiting phase microseconds before the
+    // delayed rank starts the injected segment).
+    const auto it = std::find_if(
+        periods.begin(), periods.end(), [&](const IdlePeriod& p) {
+          return p.end > probe.injection_time;
+        });
+    if (it != periods.end()) {
+      obs.reached = true;
+      obs.arrival = it->begin;
+      obs.amplitude = it->duration();
+    }
+    if (obs.reached && !front_broken) ++analysis.survival_hops;
+    if (!obs.reached) front_broken = true;
+    analysis.observations.push_back(obs);
+  }
+
+  std::vector<double> hops_x, arrival_y, amp_y;
+  for (const auto& obs : analysis.observations) {
+    if (!obs.reached) continue;
+    hops_x.push_back(static_cast<double>(obs.hops));
+    arrival_y.push_back(obs.arrival.sec());
+    amp_y.push_back(obs.amplitude.us());
+  }
+
+  analysis.front_fit = fit_line(hops_x, arrival_y);
+  if (analysis.front_fit.n >= 2 && analysis.front_fit.slope > 0.0)
+    analysis.speed_ranks_per_sec = 1.0 / analysis.front_fit.slope;
+
+  analysis.amplitude_fit = fit_line(hops_x, amp_y);
+  if (analysis.amplitude_fit.n >= 2)
+    analysis.decay_us_per_rank = std::max(0.0, -analysis.amplitude_fit.slope);
+
+  return analysis;
+}
+
+}  // namespace iw::core

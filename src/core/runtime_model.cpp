@@ -1,0 +1,29 @@
+#include "core/runtime_model.hpp"
+
+#include "support/error.hpp"
+
+namespace iw::core {
+
+Duration stream_exec_time(const StreamModelParams& p, int n) {
+  IW_REQUIRE(n >= 1, "need at least one socket");
+  return seconds(p.vmem_bytes / (static_cast<double>(n) * p.bmem_Bps));
+}
+
+Duration stream_cycle_time(const StreamModelParams& p, int n) {
+  return stream_exec_time(p, n) + seconds(2.0 * p.vnet_bytes / p.bnet_Bps);
+}
+
+double stream_performance(const StreamModelParams& p, int n) {
+  return performance_from_time(p.flops, stream_cycle_time(p, n));
+}
+
+double stream_exec_performance(const StreamModelParams& p, int n) {
+  return performance_from_time(p.flops, stream_exec_time(p, n));
+}
+
+double performance_from_time(std::int64_t flops, Duration t) {
+  IW_REQUIRE(t.ns() > 0, "time must be positive");
+  return static_cast<double>(flops) / t.sec();
+}
+
+}  // namespace iw::core

@@ -1,0 +1,42 @@
+// The nonoverlapping execution/communication runtime model of the paper's
+// introduction (Eq. 1):
+//
+//     T(n) = Vmem / (n * bmem) + 2 * Vnet / bnet
+//
+// for one compute-communicate cycle of the strong-scaling STREAM triad on n
+// sockets, plus the flop/s conversion used for Fig. 1. The model is
+// deliberately optimistic (intra-node communication ignored) and assumes
+// zero overlap — the whole point of Fig. 1 is where reality deviates.
+#pragma once
+
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace iw::core {
+
+struct StreamModelParams {
+  double vmem_bytes = 1.2e9;  ///< total working set (5e7 elements * 24 B)
+  double bmem_Bps = 40e9;     ///< per-socket memory bandwidth
+  double vnet_bytes = 2e6;    ///< per-neighbor message volume
+  double bnet_Bps = 3e9;      ///< asymptotic internode bandwidth
+  std::int64_t flops = 2 * 50'000'000;  ///< flops per full traversal
+};
+
+/// Predicted cycle time on n sockets (Eq. 1).
+[[nodiscard]] Duration stream_cycle_time(const StreamModelParams& p, int n);
+
+/// Predicted execution-only time (the memory term alone).
+[[nodiscard]] Duration stream_exec_time(const StreamModelParams& p, int n);
+
+/// Predicted total performance in flop/s on n sockets.
+[[nodiscard]] double stream_performance(const StreamModelParams& p, int n);
+
+/// Predicted execution-only performance in flop/s on n sockets.
+[[nodiscard]] double stream_exec_performance(const StreamModelParams& p,
+                                             int n);
+
+/// Performance for a measured cycle time.
+[[nodiscard]] double performance_from_time(std::int64_t flops, Duration t);
+
+}  // namespace iw::core

@@ -1,0 +1,28 @@
+#include "core/speed_model.hpp"
+
+#include "support/error.hpp"
+
+namespace iw::core {
+
+int sigma_factor(workload::Direction direction, mpi::WireProtocol protocol) {
+  const bool bidi_rendezvous =
+      direction == workload::Direction::bidirectional &&
+      protocol == mpi::WireProtocol::rendezvous;
+  return bidi_rendezvous ? 2 : 1;
+}
+
+double v_silent(int sigma, int distance, Duration texec, Duration tcomm) {
+  IW_REQUIRE(sigma == 1 || sigma == 2, "sigma must be 1 or 2");
+  IW_REQUIRE(distance >= 1, "distance must be >= 1");
+  const Duration cycle = texec + tcomm;
+  IW_REQUIRE(cycle.ns() > 0, "cycle time must be positive");
+  return static_cast<double>(sigma) * static_cast<double>(distance) /
+         cycle.sec();
+}
+
+double v_silent(workload::Direction direction, mpi::WireProtocol protocol,
+                int distance, Duration texec, Duration tcomm) {
+  return v_silent(sigma_factor(direction, protocol), distance, texec, tcomm);
+}
+
+}  // namespace iw::core

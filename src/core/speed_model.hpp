@@ -1,0 +1,31 @@
+// The paper's analytic idle-wave propagation model (Eq. 2):
+//
+//     v_silent = sigma * d / (Texec + Tcomm)   [ranks/s]
+//
+// with sigma = 2 for bidirectional rendezvous communication and sigma = 1
+// for every other mode, and d the largest distance to any communication
+// partner. "It does not matter what Tcomm is composed of, be it latency,
+// overhead, transfer time" — communication overhead and execution time
+// enter on an equal footing.
+#pragma once
+
+#include "mpi/message.hpp"
+#include "support/time.hpp"
+#include "workload/ring.hpp"
+
+namespace iw::core {
+
+/// The sigma factor of Eq. 2.
+[[nodiscard]] int sigma_factor(workload::Direction direction,
+                               mpi::WireProtocol protocol);
+
+/// v_silent in ranks per second.
+[[nodiscard]] double v_silent(int sigma, int distance, Duration texec,
+                              Duration tcomm);
+
+/// Convenience overload taking the mode directly.
+[[nodiscard]] double v_silent(workload::Direction direction,
+                              mpi::WireProtocol protocol, int distance,
+                              Duration texec, Duration tcomm);
+
+}  // namespace iw::core

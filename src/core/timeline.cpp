@@ -1,0 +1,91 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace iw::core {
+namespace {
+
+/// Priority of a segment kind when several overlap one bin: injected delay
+/// wins over waiting, waiting over compute.
+int glyph_priority(mpi::SegKind kind) {
+  switch (kind) {
+    case mpi::SegKind::injected: return 3;
+    case mpi::SegKind::wait: return 2;
+    case mpi::SegKind::compute: return 1;
+  }
+  return 0;
+}
+
+char glyph_for(mpi::SegKind kind) {
+  switch (kind) {
+    case mpi::SegKind::injected: return 'D';
+    case mpi::SegKind::wait: return '#';
+    case mpi::SegKind::compute: return '.';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_timeline(const mpi::Trace& trace,
+                            const TimelineOptions& options) {
+  IW_REQUIRE(options.columns > 0, "timeline needs at least one column");
+  const SimTime from = options.from;
+  const SimTime to =
+      options.to > SimTime::zero() ? options.to : trace.makespan();
+  IW_REQUIRE(to > from, "timeline window must be non-empty");
+  const Duration window = to - from;
+  const double bin_ns = static_cast<double>(window.ns()) /
+                        static_cast<double>(options.columns);
+
+  std::ostringstream out;
+  for (int rank = trace.ranks() - 1; rank >= 0; --rank) {
+    if (options.socket_separators && options.ranks_per_socket > 0 &&
+        rank != trace.ranks() - 1 &&
+        (rank + 1) % options.ranks_per_socket == 0) {
+      out << "     " << std::string(static_cast<std::size_t>(options.columns),
+                                    '-')
+          << '\n';
+    }
+
+    std::vector<char> row(static_cast<std::size_t>(options.columns), ' ');
+    std::vector<int> priority(static_cast<std::size_t>(options.columns), 0);
+    for (const auto& seg : trace.segments(rank)) {
+      if (seg.end <= from || seg.begin >= to) continue;
+      const double b0 = static_cast<double>((std::max(seg.begin, from) - from).ns());
+      const double b1 = static_cast<double>((std::min(seg.end, to) - from).ns());
+      auto c0 = static_cast<std::size_t>(b0 / bin_ns);
+      auto c1 = static_cast<std::size_t>((b1 - 1.0) / bin_ns);
+      c0 = std::min(c0, static_cast<std::size_t>(options.columns - 1));
+      c1 = std::min(c1, static_cast<std::size_t>(options.columns - 1));
+      const int prio = glyph_priority(seg.kind);
+      for (std::size_t c = c0; c <= c1; ++c) {
+        if (prio > priority[c]) {
+          priority[c] = prio;
+          row[c] = glyph_for(seg.kind);
+        }
+      }
+    }
+
+    out << (rank < 10 ? "  " : rank < 100 ? " " : "") << rank << " |";
+    out.write(row.data(), static_cast<std::streamsize>(row.size()));
+    out << '\n';
+  }
+
+  if (options.show_axis) {
+    out << "     " << std::string(static_cast<std::size_t>(options.columns),
+                                  '=')
+        << '\n';
+    out << "     t = " << fmt_duration(from - SimTime::zero()) << " ... "
+        << fmt_duration(to - SimTime::zero()) << "  ('.' compute, '#' wait, "
+        << "'D' injected delay)\n";
+  }
+  return out.str();
+}
+
+}  // namespace iw::core

@@ -1,0 +1,28 @@
+// ASCII timeline rendering: rank-vs-time diagrams in the style of the
+// paper's Figs. 4-7 and 9. Each row is a rank, each column a time bin;
+// the dominant activity in the bin picks the glyph:
+//   '.' compute    'D' injected delay    '#' waiting (idle wave)    ' ' done
+#pragma once
+
+#include <string>
+
+#include "mpi/trace.hpp"
+#include "support/time.hpp"
+
+namespace iw::core {
+
+struct TimelineOptions {
+  SimTime from = SimTime::zero();
+  SimTime to = SimTime::zero();  ///< zero: trace makespan
+  int columns = 100;
+  bool socket_separators = false;
+  int ranks_per_socket = 0;      ///< needed when socket_separators is set
+  bool show_axis = true;
+};
+
+/// Renders the trace as a rank-time character grid, highest rank on top
+/// (matching the paper's figures).
+[[nodiscard]] std::string render_timeline(const mpi::Trace& trace,
+                                          const TimelineOptions& options);
+
+}  // namespace iw::core

@@ -1,0 +1,24 @@
+// Trace export: CSV emission of raw traces and step positions for external
+// analysis/plotting (gnuplot, pandas), mirroring what the paper extracts
+// from Intel Trace Analyzer recordings.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mpi/trace.hpp"
+
+namespace iw::core {
+
+/// Writes all segments as CSV rows:
+/// rank,kind,begin_ns,end_ns,duration_ns,step,noise_ns
+void write_segments_csv(const mpi::Trace& trace, std::ostream& out);
+void write_segments_csv(const mpi::Trace& trace, const std::string& path);
+
+/// Writes per-rank step-begin wallclock positions (the Fig. 2 markers):
+/// step,rank,begin_ns
+void write_step_positions_csv(const mpi::Trace& trace, std::ostream& out);
+void write_step_positions_csv(const mpi::Trace& trace,
+                              const std::string& path);
+
+}  // namespace iw::core

@@ -1,0 +1,95 @@
+#include "memory/bandwidth_domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace iw::memory {
+namespace {
+// Residue threshold below which a job counts as finished. Completion events
+// are scheduled on the integer-nanosecond clock, so up to one nanosecond of
+// progress (tens of bytes at tens of GB/s) can be left over purely from
+// rounding; anything under this bound is rounding noise, not lost work.
+constexpr double kEpsilonBytes = 128.0;
+}  // namespace
+
+BandwidthDomain::BandwidthDomain(sim::Engine& engine, double total_Bps,
+                                 double per_core_Bps)
+    : engine_(engine), total_Bps_(total_Bps), per_core_Bps_(per_core_Bps) {
+  IW_REQUIRE(total_Bps > 0.0, "domain bandwidth must be positive");
+  IW_REQUIRE(per_core_Bps > 0.0, "per-core bandwidth must be positive");
+}
+
+double BandwidthDomain::current_rate() const {
+  if (jobs_.empty()) return per_core_Bps_;
+  return std::min(per_core_Bps_,
+                  total_Bps_ / static_cast<double>(jobs_.size()));
+}
+
+Duration BandwidthDomain::solo_time(std::int64_t bytes) const {
+  const double rate = std::min(per_core_Bps_, total_Bps_);
+  return seconds(static_cast<double>(bytes) / rate);
+}
+
+void BandwidthDomain::submit(std::int64_t bytes, std::function<void()> done) {
+  IW_REQUIRE(bytes >= 0, "job size must be non-negative");
+  advance_progress();
+  jobs_.push_back(
+      Job{static_cast<double>(bytes), std::move(done), next_id_++});
+  reschedule();
+}
+
+void BandwidthDomain::advance_progress() {
+  const SimTime now = engine_.now();
+  if (jobs_.empty()) {
+    last_update_ = now;
+    return;
+  }
+  const double elapsed_s = (now - last_update_).sec();
+  if (elapsed_s > 0.0) {
+    const double progress = current_rate() * elapsed_s;
+    for (auto& job : jobs_)
+      job.remaining_bytes = std::max(0.0, job.remaining_bytes - progress);
+  }
+  last_update_ = now;
+}
+
+void BandwidthDomain::reschedule() {
+  ++schedule_generation_;
+  if (jobs_.empty()) return;
+
+  // Jobs share one rate, so the smallest remaining byte count finishes
+  // first. Completed jobs (remaining ~ 0) fire immediately.
+  const auto next = std::min_element(
+      jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+        return a.remaining_bytes < b.remaining_bytes;
+      });
+  const double rate = current_rate();
+  // Round the completion up to the next nanosecond so the job has always
+  // moved at least its remaining bytes when the event fires.
+  const double eta_s = next->remaining_bytes / rate;
+  const Duration eta =
+      next->remaining_bytes <= kEpsilonBytes
+          ? Duration::zero()
+          : Duration{static_cast<std::int64_t>(std::ceil(eta_s * 1e9))};
+
+  const std::uint64_t generation = schedule_generation_;
+  const std::uint64_t job_id = next->id;
+  engine_.after(eta, [this, generation, job_id] {
+    if (generation != schedule_generation_) return;  // superseded
+    advance_progress();
+    const auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                                 [&](const Job& j) { return j.id == job_id; });
+    IW_ASSERT(it != jobs_.end(), "bandwidth job vanished before completion");
+    IW_ASSERT(it->remaining_bytes <= kEpsilonBytes,
+              "bandwidth job completed with work left");
+    auto done = std::move(it->done);
+    jobs_.erase(it);
+    reschedule();
+    done();
+  });
+}
+
+}  // namespace iw::memory

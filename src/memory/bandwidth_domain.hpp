@@ -1,0 +1,66 @@
+// Processor-sharing memory-bandwidth domain.
+//
+// Models the node-level saturation behaviour of data-bound code (paper
+// Sec. II-A): the ranks of one socket share the memory interface. While n
+// jobs are active, each progresses at rate min(per_core_Bps, total_Bps / n).
+// With few active jobs each runs at its core-private speed (scalable
+// regime); beyond the saturation point they share the socket bandwidth
+// (saturated regime). This is exactly the mechanism behind the paper's
+// Fig. 1 observation that desynchronized ranks see *better* per-rank
+// execution performance than the all-synchronized model predicts: fewer
+// concurrent ranks -> more bandwidth each.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/time.hpp"
+
+namespace iw::memory {
+
+class BandwidthDomain {
+ public:
+  /// `total_Bps`: socket memory bandwidth; `per_core_Bps`: the rate a single
+  /// core can draw (total/per_core = saturation core count).
+  BandwidthDomain(sim::Engine& engine, double total_Bps, double per_core_Bps);
+
+  BandwidthDomain(const BandwidthDomain&) = delete;
+  BandwidthDomain& operator=(const BandwidthDomain&) = delete;
+
+  /// Submits a job that must move `bytes` through the domain; `done` fires
+  /// when the transfer completes. Jobs are preemptively re-rated whenever
+  /// membership changes.
+  void submit(std::int64_t bytes, std::function<void()> done);
+
+  [[nodiscard]] int active_jobs() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] double total_Bps() const { return total_Bps_; }
+  [[nodiscard]] double per_core_Bps() const { return per_core_Bps_; }
+
+  /// Current per-job progress rate in bytes/s.
+  [[nodiscard]] double current_rate() const;
+
+  /// Time a transfer of `bytes` would take if it ran alone in the domain.
+  [[nodiscard]] Duration solo_time(std::int64_t bytes) const;
+
+ private:
+  struct Job {
+    double remaining_bytes;
+    std::function<void()> done;
+    std::uint64_t id;
+  };
+
+  void advance_progress();  ///< applies elapsed progress at the current rate
+  void reschedule();        ///< re-arms the next-completion event
+
+  sim::Engine& engine_;
+  double total_Bps_;
+  double per_core_Bps_;
+  std::vector<Job> jobs_;
+  SimTime last_update_ = SimTime::zero();
+  std::uint64_t next_id_ = 0;
+  std::uint64_t schedule_generation_ = 0;  ///< invalidates stale events
+};
+
+}  // namespace iw::memory

@@ -1,0 +1,24 @@
+#include "memory/roofline.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace iw::memory {
+
+double attainable_flops(const RooflineParams& p, double intensity) {
+  IW_REQUIRE(intensity >= 0.0, "intensity must be non-negative");
+  IW_REQUIRE(p.peak_flops > 0.0 && p.mem_bandwidth_Bps > 0.0,
+             "roofline parameters must be positive");
+  return std::min(p.peak_flops, p.mem_bandwidth_Bps * intensity);
+}
+
+Duration loop_time(const RooflineParams& p, std::int64_t bytes,
+                   std::int64_t flops) {
+  IW_REQUIRE(bytes >= 0 && flops >= 0, "work must be non-negative");
+  const double t_mem = static_cast<double>(bytes) / p.mem_bandwidth_Bps;
+  const double t_cpu = static_cast<double>(flops) / p.peak_flops;
+  return seconds(std::max(t_mem, t_cpu));
+}
+
+}  // namespace iw::memory

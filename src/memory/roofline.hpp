@@ -1,0 +1,28 @@
+// Roofline-style node-level performance helpers (paper Sec. I-A, II-A).
+//
+// Used for the analytic model lines in the Fig. 1 reproduction: predicted
+// loop performance is the minimum of the compute roof and the bandwidth
+// ceiling at the loop's computational intensity.
+#pragma once
+
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace iw::memory {
+
+struct RooflineParams {
+  double peak_flops = 0.0;      ///< compute roof [flop/s]
+  double mem_bandwidth_Bps = 0; ///< bandwidth ceiling [byte/s]
+};
+
+/// Attainable performance for a loop with `intensity` flop/byte.
+[[nodiscard]] double attainable_flops(const RooflineParams& p,
+                                      double intensity);
+
+/// Time to process `bytes` of traffic with `flops` arithmetic under the
+/// roofline assumption (whichever bottleneck dominates).
+[[nodiscard]] Duration loop_time(const RooflineParams& p, std::int64_t bytes,
+                                 std::int64_t flops);
+
+}  // namespace iw::memory

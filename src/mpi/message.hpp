@@ -1,0 +1,40 @@
+// Message-passing primitives of the simulated MPI layer.
+#pragma once
+
+#include <cstdint>
+
+namespace iw::mpi {
+
+/// Wire protocol actually used for a message (paper Sec. II-C1). Short
+/// messages go eager (buffered, no handshake — the sender "can get rid of
+/// its messages"); large ones go rendezvous (RTS/CTS handshake that couples
+/// the sender to the receiver's progress).
+enum class WireProtocol : std::uint8_t { eager, rendezvous };
+
+/// Sender-side pipelining semantics for rendezvous data pushes.
+///
+/// `deferred_push` models the coupling observed on the paper's production
+/// systems: a process does not push payload for any handshake-complete
+/// rendezvous send while at least one of its own rendezvous handshakes is
+/// still outstanding. This reproduces the paper's sigma = 2 propagation
+/// speed for bidirectional rendezvous communication (Sec. IV-C, Fig. 5(g,h),
+/// Fig. 7) while leaving every other mode at sigma = 1.
+///
+/// `independent` is the idealized fully-asynchronous semantic; under it all
+/// modes propagate at sigma = 1 (the ablation bench demonstrates this).
+enum class RendezvousPipelining : std::uint8_t { deferred_push, independent };
+
+/// Message envelope used for matching: MPI matches on (source, tag) within a
+/// communicator; we have a single communicator per simulation.
+struct Envelope {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::int64_t bytes = 0;
+
+  [[nodiscard]] bool matches(int want_src, int want_tag) const {
+    return src == want_src && tag == want_tag;
+  }
+};
+
+}  // namespace iw::mpi

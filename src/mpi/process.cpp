@@ -1,0 +1,162 @@
+#include "mpi/process.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace iw::mpi {
+
+Process::Process(int rank, sim::Engine& engine, Transport& transport,
+                 Trace& trace)
+    : rank_(rank), engine_(engine), transport_(transport), trace_(trace) {
+  IW_REQUIRE(rank >= 0, "rank must be non-negative");
+}
+
+void Process::set_program(std::shared_ptr<const Program> program) {
+  IW_REQUIRE(program != nullptr, "program must not be null");
+  program_ = std::move(program);
+}
+
+void Process::add_noise(std::unique_ptr<noise::NoiseModel> model, Rng rng) {
+  IW_REQUIRE(model != nullptr, "noise model must not be null");
+  noise_.push_back(NoiseSource{std::move(model), rng});
+}
+
+void Process::start() {
+  IW_REQUIRE(program_ != nullptr, "start() requires a program");
+  engine_.at(engine_.now(), [this] { resume(); });
+}
+
+Duration Process::sample_noise() {
+  Duration extra = Duration::zero();
+  for (auto& src : noise_) extra += src.model->sample(src.rng);
+  return extra;
+}
+
+void Process::resume() {
+  const auto& ops = program_->ops();
+  while (pc_ < ops.size()) {
+    const Op& op = ops[pc_];
+
+    if (const auto* comp = std::get_if<OpCompute>(&op)) {
+      const Duration extra = comp->noisy ? sample_noise() : Duration::zero();
+      const Duration total = comp->duration + extra;
+      const SimTime begin = engine_.now();
+      const std::int32_t step = next_step_ - 1;
+      engine_.after(total, [this, begin, extra, step] {
+        trace_.add_segment(rank_, Segment{SegKind::compute, begin,
+                                          engine_.now(), step, extra});
+        ++pc_;
+        resume();
+      });
+      return;
+    }
+
+    if (const auto* work = std::get_if<OpMemWork>(&op)) {
+      IW_REQUIRE(domain_ != nullptr,
+                 "OpMemWork requires a bandwidth domain on this rank");
+      const Duration extra = work->noisy ? sample_noise() : Duration::zero();
+      const SimTime begin = engine_.now();
+      const std::int32_t step = next_step_ - 1;
+      domain_->submit(work->bytes, [this, begin, extra, step] {
+        engine_.after(extra, [this, begin, extra, step] {
+          trace_.add_segment(rank_, Segment{SegKind::compute, begin,
+                                            engine_.now(), step, extra});
+          ++pc_;
+          resume();
+        });
+      });
+      return;
+    }
+
+    if (const auto* inject = std::get_if<OpInject>(&op)) {
+      const SimTime begin = engine_.now();
+      const std::int32_t step = next_step_ - 1;
+      engine_.after(inject->duration, [this, begin, step] {
+        trace_.add_segment(rank_, Segment{SegKind::injected, begin,
+                                          engine_.now(), step,
+                                          Duration::zero()});
+        ++pc_;
+        resume();
+      });
+      return;
+    }
+
+    if (const auto* send = std::get_if<OpIsend>(&op)) {
+      const auto id = static_cast<RequestId>(requests_.size());
+      requests_.push_back(
+          Request{Request::Kind::send, send->peer, send->tag, send->bytes,
+                  false});
+      transport_.post_send(rank_, send->peer, send->tag, send->bytes, id);
+      ++pc_;
+      continue;
+    }
+
+    if (const auto* recv = std::get_if<OpIrecv>(&op)) {
+      const auto id = static_cast<RequestId>(requests_.size());
+      requests_.push_back(
+          Request{Request::Kind::recv, recv->peer, recv->tag, recv->bytes,
+                  false});
+      transport_.post_recv(rank_, recv->peer, recv->tag, recv->bytes, id);
+      ++pc_;
+      continue;
+    }
+
+    if (std::holds_alternative<OpWaitAll>(op)) {
+      const bool all_done =
+          std::all_of(requests_.begin(), requests_.end(),
+                      [](const Request& r) { return r.complete; });
+      if (all_done) {
+        requests_.clear();
+        ++pc_;
+        continue;
+      }
+      blocked_ = true;
+      wait_begin_ = engine_.now();
+      return;
+    }
+
+    if (const auto* mark = std::get_if<OpMark>(&op)) {
+      (void)mark;
+      trace_.mark_step(rank_, next_step_, engine_.now());
+      ++next_step_;
+      ++pc_;
+      continue;
+    }
+
+    IW_ASSERT(false, "unhandled op kind");
+  }
+
+  // Program complete.
+  if (!done_) {
+    done_ = true;
+    trace_.set_finish(rank_, engine_.now());
+    if (on_done_) on_done_(rank_);
+  }
+}
+
+void Process::on_request_complete(RequestId id) {
+  IW_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < requests_.size(),
+             "unknown request id");
+  Request& req = requests_[static_cast<std::size_t>(id)];
+  IW_ASSERT(!req.complete, "request completed twice");
+  req.complete = true;
+
+  if (!blocked_) return;
+  const bool all_done =
+      std::all_of(requests_.begin(), requests_.end(),
+                  [](const Request& r) { return r.complete; });
+  if (!all_done) return;
+
+  blocked_ = false;
+  const SimTime now = engine_.now();
+  if (now > wait_begin_) {
+    trace_.add_segment(rank_, Segment{SegKind::wait, wait_begin_, now,
+                                      next_step_ - 1, Duration::zero()});
+  }
+  requests_.clear();
+  ++pc_;
+  resume();
+}
+
+}  // namespace iw::mpi

@@ -1,0 +1,82 @@
+// A simulated MPI process: interprets a rank Program against the engine,
+// the transport, an optional bandwidth domain, and attached noise sources,
+// recording a trace of everything it does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "memory/bandwidth_domain.hpp"
+#include "mpi/program.hpp"
+#include "mpi/request.hpp"
+#include "mpi/trace.hpp"
+#include "mpi/transport.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace iw::mpi {
+
+class Process {
+ public:
+  Process(int rank, sim::Engine& engine, Transport& transport, Trace& trace);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  void set_program(std::shared_ptr<const Program> program);
+
+  /// Attaches a noise source; each compute phase adds one sample from every
+  /// attached source. The process owns model and generator.
+  void add_noise(std::unique_ptr<noise::NoiseModel> model, Rng rng);
+
+  /// Bandwidth domain used by OpMemWork phases (socket memory interface).
+  /// May stay null if the program has no memory-bound phases.
+  void set_domain(memory::BandwidthDomain* domain) { domain_ = domain; }
+
+  /// Called once after wiring; schedules the first instruction at t=0.
+  void start();
+
+  /// Transport callback: request `id` finished.
+  void on_request_complete(RequestId id);
+
+  /// Invoked when the program has fully executed.
+  void set_done_handler(std::function<void(int rank)> fn) {
+    on_done_ = std::move(fn);
+  }
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool blocked() const { return blocked_; }
+
+ private:
+  void resume();                    ///< interpret ops until blocked or timed
+  [[nodiscard]] Duration sample_noise();
+  void finish_waitall();
+
+  int rank_;
+  sim::Engine& engine_;
+  Transport& transport_;
+  Trace& trace_;
+  std::shared_ptr<const Program> program_;
+  memory::BandwidthDomain* domain_ = nullptr;
+
+  struct NoiseSource {
+    std::unique_ptr<noise::NoiseModel> model;
+    Rng rng;
+  };
+  std::vector<NoiseSource> noise_;
+
+  std::size_t pc_ = 0;
+  std::int32_t next_step_ = 0;
+  std::vector<Request> requests_;
+  bool blocked_ = false;
+  SimTime wait_begin_;
+  bool done_ = false;
+  std::function<void(int)> on_done_;
+};
+
+}  // namespace iw::mpi

@@ -1,0 +1,23 @@
+// Nonblocking communication requests (the MPI_Request analogue).
+#pragma once
+
+#include <cstdint>
+
+namespace iw::mpi {
+
+/// Handle to a pending nonblocking operation; an index into the owning
+/// process's current request window (requests are created by Isend/Irecv
+/// ops and all retired together by the following WaitAll).
+using RequestId = int;
+
+struct Request {
+  enum class Kind : std::uint8_t { send, recv };
+
+  Kind kind = Kind::send;
+  int peer = -1;
+  int tag = 0;
+  std::int64_t bytes = 0;
+  bool complete = false;
+};
+
+}  // namespace iw::mpi

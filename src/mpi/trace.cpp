@@ -1,0 +1,61 @@
+#include "mpi/trace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace iw::mpi {
+
+Trace::Trace(int ranks)
+    : segments_(static_cast<std::size_t>(ranks)),
+      step_begin_(static_cast<std::size_t>(ranks)),
+      finish_(static_cast<std::size_t>(ranks), SimTime::zero()) {
+  IW_REQUIRE(ranks > 0, "trace needs at least one rank");
+}
+
+void Trace::add_segment(int rank, Segment seg) {
+  IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  IW_ASSERT(seg.end >= seg.begin, "segment must have non-negative duration");
+  segments_[static_cast<std::size_t>(rank)].push_back(seg);
+}
+
+void Trace::mark_step(int rank, std::int32_t step, SimTime when) {
+  IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  auto& marks = step_begin_[static_cast<std::size_t>(rank)];
+  IW_ASSERT(step == static_cast<std::int32_t>(marks.size()),
+            "steps must be marked consecutively from zero");
+  marks.push_back(when);
+}
+
+void Trace::set_finish(int rank, SimTime when) {
+  IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  finish_[static_cast<std::size_t>(rank)] = when;
+}
+
+const std::vector<Segment>& Trace::segments(int rank) const {
+  IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  return segments_[static_cast<std::size_t>(rank)];
+}
+
+const std::vector<SimTime>& Trace::step_begin(int rank) const {
+  IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  return step_begin_[static_cast<std::size_t>(rank)];
+}
+
+SimTime Trace::finish(int rank) const {
+  IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  return finish_[static_cast<std::size_t>(rank)];
+}
+
+SimTime Trace::makespan() const {
+  return *std::max_element(finish_.begin(), finish_.end());
+}
+
+Duration Trace::total(int rank, SegKind kind) const {
+  Duration sum = Duration::zero();
+  for (const auto& seg : segments(rank))
+    if (seg.kind == kind) sum += seg.duration();
+  return sum;
+}
+
+}  // namespace iw::mpi

@@ -1,0 +1,68 @@
+// Execution traces: the raw material of every analysis in the paper.
+//
+// Each rank records a sequence of timed segments (compute, injected delay,
+// waiting) plus per-timestep begin markers. The analysis layer extracts
+// idle periods, wave fronts, decay rates and Fig. 2 style step positions
+// from these traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace iw::mpi {
+
+enum class SegKind : std::uint8_t {
+  compute,   ///< regular execution phase (noise included in duration)
+  injected,  ///< deliberately injected one-off delay
+  wait,      ///< blocked in WaitAll — idleness and communication delay
+};
+
+[[nodiscard]] constexpr const char* to_string(SegKind k) {
+  switch (k) {
+    case SegKind::compute: return "compute";
+    case SegKind::injected: return "injected";
+    case SegKind::wait: return "wait";
+  }
+  return "?";
+}
+
+struct Segment {
+  SegKind kind = SegKind::compute;
+  SimTime begin;
+  SimTime end;
+  std::int32_t step = -1;   ///< application timestep the segment belongs to
+  Duration noise;           ///< noise portion of a compute segment
+
+  [[nodiscard]] Duration duration() const { return end - begin; }
+};
+
+/// Trace of one full simulation run.
+class Trace {
+ public:
+  explicit Trace(int ranks);
+
+  void add_segment(int rank, Segment seg);
+  void mark_step(int rank, std::int32_t step, SimTime when);
+  void set_finish(int rank, SimTime when);
+
+  [[nodiscard]] int ranks() const { return static_cast<int>(segments_.size()); }
+  [[nodiscard]] const std::vector<Segment>& segments(int rank) const;
+  /// Wall-clock times at which `rank` began each timestep, indexed by step.
+  [[nodiscard]] const std::vector<SimTime>& step_begin(int rank) const;
+  /// Time at which the rank finished its program.
+  [[nodiscard]] SimTime finish(int rank) const;
+  /// Completion time of the whole run (max over ranks).
+  [[nodiscard]] SimTime makespan() const;
+
+  /// Total time `rank` spent in segments of `kind`.
+  [[nodiscard]] Duration total(int rank, SegKind kind) const;
+
+ private:
+  std::vector<std::vector<Segment>> segments_;
+  std::vector<std::vector<SimTime>> step_begin_;
+  std::vector<SimTime> finish_;
+};
+
+}  // namespace iw::mpi

@@ -1,0 +1,295 @@
+#include "mpi/transport.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace iw::mpi {
+namespace {
+
+/// Packs a (src, dst) pair into one map key.
+std::int64_t pair_key(int src, int dst) {
+  return (static_cast<std::int64_t>(src) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(dst));
+}
+
+}  // namespace
+
+Transport::Transport(sim::Engine& engine, const net::Topology& topo,
+                     const net::FabricProfile& fabric, Options options)
+    : engine_(engine),
+      topo_(topo),
+      fabric_(fabric),
+      options_(options),
+      eager_limit_(options.eager_limit_override >= 0
+                       ? options.eager_limit_override
+                       : fabric.eager_limit_bytes),
+      ranks_(static_cast<std::size_t>(topo.ranks())) {}
+
+void Transport::set_completion_handler(CompletionFn fn) {
+  on_complete_ = std::move(fn);
+}
+
+void Transport::set_memory_domains(DomainLookup lookup) {
+  domain_lookup_ = std::move(lookup);
+}
+
+void Transport::transfer(int src, int dst, std::int64_t bytes,
+                         std::function<void()> on_injected,
+                         std::function<void()> on_arrival) {
+  const net::LinkClass cls = topo_.classify(src, dst);
+  const bool same_node = cls == net::LinkClass::intra_socket ||
+                         cls == net::LinkClass::inter_socket;
+  memory::BandwidthDomain* src_domain =
+      (same_node && domain_lookup_) ? domain_lookup_(src) : nullptr;
+
+  if (src_domain == nullptr) {
+    // NIC path: serialize on the sender's NIC, arrive after the latency.
+    const SimTime arrival = inject(src, dst, bytes);
+    const SimTime injected = arrival - link(src, dst).latency;
+    engine_.at(injected, std::move(on_injected));
+    engine_.at(arrival, std::move(on_arrival));
+    return;
+  }
+
+  // Memory path: source-side buffer copy, then destination-side copy-out,
+  // each drawing on the owning socket's memory bandwidth (they contend with
+  // computation — the effect the Eq. 1 model ignores).
+  memory::BandwidthDomain* dst_domain = domain_lookup_(dst);
+  const Duration latency = link(src, dst).latency;
+  auto arrival_fn = std::make_shared<std::function<void()>>(
+      std::move(on_arrival));
+  src_domain->submit(
+      bytes, [this, bytes, dst_domain, latency, arrival_fn,
+              injected = std::move(on_injected)]() mutable {
+        injected();
+        engine_.after(latency, [this, bytes, dst_domain, arrival_fn] {
+          if (dst_domain != nullptr) {
+            dst_domain->submit(bytes, [arrival_fn] { (*arrival_fn)(); });
+          } else {
+            (*arrival_fn)();
+          }
+        });
+      });
+}
+
+const net::LinkParams& Transport::link(int a, int b) const {
+  return fabric_.params(topo_.classify(a, b));
+}
+
+Transport::RankState& Transport::state(int rank) {
+  IW_REQUIRE(rank >= 0 && rank < topo_.ranks(), "rank out of range");
+  return ranks_[static_cast<std::size_t>(rank)];
+}
+
+std::int64_t Transport::eager_backlog(int src, int dst) const {
+  const auto it = eager_backlog_.find(pair_key(src, dst));
+  return it == eager_backlog_.end() ? 0 : it->second;
+}
+
+WireProtocol Transport::protocol_for(int src, int dst,
+                                     std::int64_t bytes) const {
+  if (bytes > eager_limit_) return WireProtocol::rendezvous;
+  if (eager_backlog(src, dst) + bytes > options_.eager_buffer_capacity)
+    return WireProtocol::rendezvous;
+  return WireProtocol::eager;
+}
+
+Duration Transport::eager_transfer_time(int src, int dst,
+                                        std::int64_t bytes) const {
+  const auto& p = link(src, dst);
+  return p.overhead + p.gap + p.transfer_time(bytes) + p.overhead;
+}
+
+Duration Transport::rendezvous_transfer_time(int src, int dst,
+                                             std::int64_t bytes) const {
+  const auto& p = link(src, dst);
+  // RTS (gap + latency) + CTS (gap + latency) + data, plus endpoint
+  // overheads on the payload.
+  return p.overhead + (p.gap + p.control_time()) * 2 + p.gap +
+         p.transfer_time(bytes) + p.overhead;
+}
+
+SimTime Transport::inject(int src, int dst, std::int64_t payload_bytes) {
+  const auto& p = link(src, dst);
+  RankState& s = state(src);
+  const SimTime start = std::max(engine_.now(), s.nic_free);
+  Duration busy = p.gap;
+  if (payload_bytes > 0) {
+    // transfer_time includes latency; strip it so the NIC is busy only for
+    // the injection itself.
+    busy += p.transfer_time(payload_bytes) - p.latency;
+  }
+  s.nic_free = start + busy;
+  return s.nic_free + p.latency;
+}
+
+void Transport::complete(int rank, RequestId request, Duration delay) {
+  IW_ASSERT(on_complete_ != nullptr, "completion handler not set");
+  engine_.after(delay, [this, rank, request] { on_complete_(rank, request); });
+}
+
+void Transport::post_send(int src, int dst, int tag, std::int64_t bytes,
+                          RequestId request) {
+  IW_REQUIRE(src != dst, "self-sends are not modeled");
+  if (protocol_for(src, dst, bytes) == WireProtocol::eager) {
+    send_eager(src, dst, tag, bytes, request);
+  } else {
+    if (bytes <= eager_limit_) ++stats_.eager_fallbacks;
+    send_rendezvous(src, dst, tag, bytes, request);
+  }
+}
+
+void Transport::send_eager(int src, int dst, int tag, std::int64_t bytes,
+                           RequestId request) {
+  ++stats_.eager_sends;
+  eager_backlog_[pair_key(src, dst)] += bytes;
+
+  const auto& p = link(src, dst);
+  // Local completion: buffering costs only the per-message overhead.
+  complete(src, request, p.overhead);
+
+  const Envelope envelope{src, dst, tag, bytes};
+  transfer(src, dst, bytes, [] {},
+           [this, envelope] { on_eager_arrival(envelope); });
+}
+
+void Transport::on_eager_arrival(const Envelope& envelope) {
+  RankState& s = state(envelope.dst);
+  auto it = std::find_if(
+      s.posted_recvs.begin(), s.posted_recvs.end(), [&](const PostedRecv& r) {
+        return envelope.matches(r.src, r.tag);
+      });
+  if (it == s.posted_recvs.end()) {
+    ++stats_.unexpected_eager;
+    s.unexpected_eager.push_back(envelope);
+    return;
+  }
+  const auto& p = link(envelope.src, envelope.dst);
+  complete(envelope.dst, it->request, p.overhead);
+  eager_backlog_[pair_key(envelope.src, envelope.dst)] -= envelope.bytes;
+  s.posted_recvs.erase(it);
+}
+
+void Transport::send_rendezvous(int src, int dst, int tag, std::int64_t bytes,
+                                RequestId request) {
+  ++stats_.rendezvous_sends;
+  const std::uint64_t uid = next_uid_++;
+  rdv_sends_.emplace(uid, RdvSend{Envelope{src, dst, tag, bytes}, request, -1});
+  ++state(src).outstanding_handshakes;
+
+  const SimTime rts_arrival = inject(src, dst, 0);
+  engine_.at(rts_arrival, [this, uid] { on_rts_arrival(uid); });
+}
+
+void Transport::on_rts_arrival(std::uint64_t send_uid) {
+  const RdvSend& send = rdv_sends_.at(send_uid);
+  RankState& s = state(send.envelope.dst);
+  auto it = std::find_if(
+      s.posted_recvs.begin(), s.posted_recvs.end(), [&](const PostedRecv& r) {
+        return send.envelope.matches(r.src, r.tag);
+      });
+  if (it == s.posted_recvs.end()) {
+    ++stats_.unexpected_rts;
+    s.unexpected_rts.push_back(RtsRecord{send_uid, send.envelope});
+    return;
+  }
+  const RequestId recv_request = it->request;
+  s.posted_recvs.erase(it);
+  issue_cts(send_uid, recv_request);
+}
+
+void Transport::issue_cts(std::uint64_t send_uid, RequestId recv_request) {
+  RdvSend& send = rdv_sends_.at(send_uid);
+  send.recv_request = recv_request;
+  const SimTime cts_arrival = inject(send.envelope.dst, send.envelope.src, 0);
+  engine_.at(cts_arrival, [this, send_uid] { on_cts_arrival(send_uid); });
+}
+
+void Transport::on_cts_arrival(std::uint64_t send_uid) {
+  const RdvSend& send = rdv_sends_.at(send_uid);
+  RankState& s = state(send.envelope.src);
+  IW_ASSERT(s.outstanding_handshakes > 0,
+            "CTS without an outstanding handshake");
+  --s.outstanding_handshakes;
+
+  const bool must_defer =
+      options_.pipelining == RendezvousPipelining::deferred_push &&
+      s.outstanding_handshakes > 0;
+  if (must_defer) {
+    ++stats_.deferred_pushes;
+    s.deferred.push_back(send_uid);
+    return;
+  }
+
+  // This CTS may have cleared the last outstanding handshake: flush every
+  // held push first (their CTS arrived earlier), then this one. The NIC
+  // serializes the injections in that order.
+  if (s.outstanding_handshakes == 0 && !s.deferred.empty()) {
+    std::vector<std::uint64_t> flush;
+    flush.swap(s.deferred);
+    for (const std::uint64_t uid : flush) push_data(uid);
+  }
+  push_data(send_uid);
+}
+
+void Transport::push_data(std::uint64_t send_uid) {
+  const auto node = rdv_sends_.extract(send_uid);
+  IW_ASSERT(!node.empty(), "pushing an unknown rendezvous send");
+  const RdvSend send = node.mapped();
+  IW_ASSERT(send.recv_request >= 0, "data push before the CTS matched");
+
+  const int src = send.envelope.src;
+  const int dst = send.envelope.dst;
+  const RequestId send_request = send.send_request;
+  const RequestId recv_request = send.recv_request;
+  // The sender is done once the payload is fully handed off; the receiver
+  // when it has arrived (plus the per-message overhead).
+  transfer(src, dst, send.envelope.bytes,
+           [this, src, send_request] {
+             complete(src, send_request, Duration::zero());
+           },
+           [this, dst, recv_request, src] {
+             complete(dst, recv_request, link(src, dst).overhead);
+           });
+}
+
+void Transport::post_recv(int dst, int src, int tag, std::int64_t bytes,
+                          RequestId request) {
+  IW_REQUIRE(src != dst, "self-receives are not modeled");
+  RankState& s = state(dst);
+
+  // 1) Already-arrived eager payload?
+  {
+    auto it = std::find_if(
+        s.unexpected_eager.begin(), s.unexpected_eager.end(),
+        [&](const Envelope& e) { return e.matches(src, tag); });
+    if (it != s.unexpected_eager.end()) {
+      const auto& p = link(src, dst);
+      complete(dst, request, p.overhead);
+      eager_backlog_[pair_key(src, dst)] -= it->bytes;
+      s.unexpected_eager.erase(it);
+      return;
+    }
+  }
+
+  // 2) A waiting rendezvous handshake?
+  {
+    auto it = std::find_if(
+        s.unexpected_rts.begin(), s.unexpected_rts.end(),
+        [&](const RtsRecord& r) { return r.envelope.matches(src, tag); });
+    if (it != s.unexpected_rts.end()) {
+      const std::uint64_t uid = it->send_uid;
+      s.unexpected_rts.erase(it);
+      issue_cts(uid, request);
+      return;
+    }
+  }
+
+  // 3) Nothing yet: queue the receive.
+  s.posted_recvs.push_back(PostedRecv{src, tag, bytes, request});
+}
+
+}  // namespace iw::mpi

@@ -1,0 +1,185 @@
+// The message transport: eager and rendezvous protocol state machines on
+// top of the network model.
+//
+// Timing model per message (Hockney + LogGOPS-style serialization):
+//   * the sender's NIC serializes injections: a message occupies the NIC for
+//     gap + bytes/bandwidth, control messages for gap only;
+//   * arrival at the destination is injection-end + latency;
+//   * a completed receive is charged the per-message overhead `o`.
+//
+// Eager protocol (bytes <= eager limit): the sender buffers the payload and
+// its request completes immediately after the local overhead — the sender
+// "can get rid of its messages" (paper Sec. IV). Data travels autonomously;
+// unexpected arrivals queue at the receiver until a matching Irecv is
+// posted. An optional finite per-destination buffer makes over-limit eager
+// sends fall back to rendezvous, modeling the footnote in the paper
+// ("a limit to the internal buffers ... handled like a transition to a
+// rendezvous protocol").
+//
+// Rendezvous protocol (bytes > eager limit): RTS control message to the
+// receiver; when the RTS has arrived *and* a matching receive is posted, the
+// receiver returns a CTS; on CTS arrival the sender pushes the payload. The
+// sender's request completes when the payload has been fully injected, the
+// receiver's when it has fully arrived. Data pushes are subject to the
+// RendezvousPipelining semantic (see message.hpp) — the deferred_push rule
+// is what makes bidirectional rendezvous waves travel at sigma = 2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/bandwidth_domain.hpp"
+#include "mpi/message.hpp"
+#include "mpi/request.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace iw::mpi {
+
+class Transport {
+ public:
+  struct Options {
+    RendezvousPipelining pipelining = RendezvousPipelining::deferred_push;
+    /// Max eager payload bytes in flight (sent but not yet matched) per
+    /// (source, destination) pair; further eager sends fall back to
+    /// rendezvous until the backlog drains.
+    std::int64_t eager_buffer_capacity =
+        std::numeric_limits<std::int64_t>::max();
+    /// Overrides the fabric's eager/rendezvous threshold if non-negative.
+    std::int64_t eager_limit_override = -1;
+  };
+
+  /// Counters for tests/ablations.
+  struct Stats {
+    std::uint64_t eager_sends = 0;
+    std::uint64_t rendezvous_sends = 0;
+    std::uint64_t eager_fallbacks = 0;   ///< eager-sized but buffer-full
+    std::uint64_t deferred_pushes = 0;   ///< data pushes held by the rule
+    std::uint64_t unexpected_eager = 0;  ///< eager arrivals before the recv
+    std::uint64_t unexpected_rts = 0;    ///< RTS arrivals before the recv
+  };
+
+  using CompletionFn = std::function<void(int rank, RequestId request)>;
+
+  Transport(sim::Engine& engine, const net::Topology& topo,
+            const net::FabricProfile& fabric, Options options);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Must be set before any post; routes request completions to processes.
+  void set_completion_handler(CompletionFn fn);
+
+  /// Maps a rank to its socket's bandwidth domain (may return null).
+  using DomainLookup = std::function<memory::BandwidthDomain*(int rank)>;
+
+  /// Enables memory-bus accounting for intra-node payloads: a message
+  /// between ranks of the same node is a pair of memory copies (source-side
+  /// buffer copy, destination-side copy-out), each charged to the
+  /// respective socket's bandwidth domain. This is the mechanism the paper
+  /// invokes to explain why the Fig. 1 measurement falls a factor ~2 short
+  /// of the Eq. 1 model, which "ignores the communication between
+  /// processes within a node". Control messages stay on the NIC path.
+  void set_memory_domains(DomainLookup lookup);
+
+  /// Nonblocking send of `bytes` from `src` to `dst`.
+  void post_send(int src, int dst, int tag, std::int64_t bytes,
+                 RequestId request);
+
+  /// Nonblocking receive at `dst` for a message from `src`.
+  void post_recv(int dst, int src, int tag, std::int64_t bytes,
+                 RequestId request);
+
+  /// Protocol a send of this size would use right now (includes the
+  /// finite-buffer fallback decision).
+  [[nodiscard]] WireProtocol protocol_for(int src, int dst,
+                                          std::int64_t bytes) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t eager_limit() const { return eager_limit_; }
+
+  /// End-to-end duration between posting a send and the matching receive
+  /// completing, for a message posted into an otherwise idle transport with
+  /// the receive pre-posted. This is the `Tcomm` that enters the analytic
+  /// speed model (Eq. 2) for eager traffic; rendezvous adds the handshake.
+  [[nodiscard]] Duration eager_transfer_time(int src, int dst,
+                                             std::int64_t bytes) const;
+  [[nodiscard]] Duration rendezvous_transfer_time(int src, int dst,
+                                                  std::int64_t bytes) const;
+
+ private:
+  struct PostedRecv {
+    int src;
+    int tag;
+    std::int64_t bytes;
+    RequestId request;
+  };
+
+  struct RtsRecord {
+    std::uint64_t send_uid;
+    Envelope envelope;
+  };
+
+  struct RdvSend {
+    Envelope envelope;
+    RequestId send_request = -1;
+    RequestId recv_request = -1;  ///< filled in when the CTS is issued
+  };
+
+  struct RankState {
+    std::deque<PostedRecv> posted_recvs;
+    std::deque<Envelope> unexpected_eager;
+    std::deque<RtsRecord> unexpected_rts;
+    SimTime nic_free = SimTime::zero();
+    int outstanding_handshakes = 0;        ///< RTS sent, CTS not yet received
+    std::vector<std::uint64_t> deferred;   ///< handshake-complete, push held
+  };
+
+  [[nodiscard]] const net::LinkParams& link(int a, int b) const;
+  RankState& state(int rank);
+
+  /// Injects a message into `src`'s NIC; returns the arrival time at dst.
+  SimTime inject(int src, int dst, std::int64_t payload_bytes);
+
+  /// Moves `bytes` of payload from src to dst. `on_injected` fires when the
+  /// sender has fully handed the data off (its local completion point for
+  /// rendezvous sends); `on_arrival` fires when the payload is available at
+  /// the destination. Uses the NIC path across nodes and the memory-copy
+  /// path within a node when domains are configured.
+  void transfer(int src, int dst, std::int64_t bytes,
+                std::function<void()> on_injected,
+                std::function<void()> on_arrival);
+
+  void send_eager(int src, int dst, int tag, std::int64_t bytes,
+                  RequestId request);
+  void send_rendezvous(int src, int dst, int tag, std::int64_t bytes,
+                       RequestId request);
+  void on_eager_arrival(const Envelope& envelope);
+  void on_rts_arrival(std::uint64_t send_uid);
+  void issue_cts(std::uint64_t send_uid, RequestId recv_request);
+  void on_cts_arrival(std::uint64_t send_uid);
+  void push_data(std::uint64_t send_uid);
+  void complete(int rank, RequestId request, Duration delay);
+
+  [[nodiscard]] std::int64_t eager_backlog(int src, int dst) const;
+
+  sim::Engine& engine_;
+  const net::Topology& topo_;
+  net::FabricProfile fabric_;
+  Options options_;
+  std::int64_t eager_limit_;
+  CompletionFn on_complete_;
+  DomainLookup domain_lookup_;
+  std::vector<RankState> ranks_;
+  std::unordered_map<std::uint64_t, RdvSend> rdv_sends_;
+  std::unordered_map<std::int64_t, std::int64_t> eager_backlog_;
+  std::uint64_t next_uid_ = 0;
+  Stats stats_;
+};
+
+}  // namespace iw::mpi

@@ -1,0 +1,59 @@
+#include "net/topology.hpp"
+
+#include "support/error.hpp"
+
+namespace iw::net {
+
+TopologySpec TopologySpec::one_rank_per_node(int nodes) {
+  TopologySpec spec;
+  spec.ranks = nodes;
+  spec.ranks_per_socket = 1;
+  spec.sockets_per_node = 1;  // only the first socket is ever occupied
+  return spec;
+}
+
+TopologySpec TopologySpec::packed(int ranks, int per_socket) {
+  TopologySpec spec;
+  spec.ranks = ranks;
+  spec.ranks_per_socket = per_socket;
+  return spec;
+}
+
+Topology::Topology(const TopologySpec& spec)
+    : spec_(spec),
+      per_socket_(spec.ranks_per_socket > 0 ? spec.ranks_per_socket
+                                            : spec.cores_per_socket) {
+  IW_REQUIRE(spec_.ranks > 0, "topology needs at least one rank");
+  IW_REQUIRE(spec_.cores_per_socket > 0, "cores_per_socket must be positive");
+  IW_REQUIRE(spec_.sockets_per_node > 0, "sockets_per_node must be positive");
+  IW_REQUIRE(per_socket_ <= spec_.cores_per_socket,
+             "cannot place more ranks on a socket than it has cores");
+}
+
+int Topology::socket_of(int rank) const {
+  IW_REQUIRE(rank >= 0 && rank < spec_.ranks, "rank out of range");
+  return rank / per_socket_;
+}
+
+int Topology::node_of(int rank) const {
+  return socket_of(rank) / spec_.sockets_per_node;
+}
+
+int Topology::sockets() const {
+  return (spec_.ranks + per_socket_ - 1) / per_socket_;
+}
+
+int Topology::nodes() const {
+  return (sockets() + spec_.sockets_per_node - 1) / spec_.sockets_per_node;
+}
+
+LinkClass Topology::classify(int a, int b) const {
+  IW_REQUIRE(a >= 0 && a < spec_.ranks && b >= 0 && b < spec_.ranks,
+             "rank out of range");
+  if (a == b) return LinkClass::self;
+  if (socket_of(a) == socket_of(b)) return LinkClass::intra_socket;
+  if (node_of(a) == node_of(b)) return LinkClass::inter_socket;
+  return LinkClass::inter_node;
+}
+
+}  // namespace iw::net

@@ -1,0 +1,51 @@
+// Hierarchical cluster topology: ranks -> cores -> sockets -> nodes.
+//
+// Ranks are mapped onto cores in compact order (fill socket 0 of node 0,
+// then socket 1 of node 0, ...), matching the process-core affinity the
+// paper enforces ("process-core affinity was enforced using the available
+// facilities in the MPI implementation").
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.hpp"
+
+namespace iw::net {
+
+/// Shape of the machine an experiment runs on.
+struct TopologySpec {
+  int ranks = 1;             ///< number of MPI ranks (== processes)
+  int cores_per_socket = 10; ///< paper: ten-core Ivy Bridge / Broadwell CPUs
+  int sockets_per_node = 2;  ///< paper: dual-socket nodes
+  int ranks_per_socket = 0;  ///< ranks placed per socket; 0 = fill all cores
+
+  /// One rank per node (paper's "PPN=1" runs).
+  [[nodiscard]] static TopologySpec one_rank_per_node(int nodes);
+  /// `per_socket` ranks on each socket of dual-socket 10-core nodes.
+  [[nodiscard]] static TopologySpec packed(int ranks, int per_socket = 10);
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologySpec& spec);
+
+  [[nodiscard]] int ranks() const { return spec_.ranks; }
+  [[nodiscard]] int ranks_per_socket() const { return per_socket_; }
+  [[nodiscard]] int ranks_per_node() const {
+    return per_socket_ * spec_.sockets_per_node;
+  }
+
+  [[nodiscard]] int socket_of(int rank) const;  ///< global socket index
+  [[nodiscard]] int node_of(int rank) const;
+  [[nodiscard]] int sockets() const;  ///< number of (partially) occupied sockets
+  [[nodiscard]] int nodes() const;    ///< number of (partially) occupied nodes
+
+  /// Classifies the link between two ranks.
+  [[nodiscard]] LinkClass classify(int a, int b) const;
+
+ private:
+  TopologySpec spec_;
+  int per_socket_;
+};
+
+}  // namespace iw::net

@@ -1,0 +1,139 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace iw::noise {
+
+std::unique_ptr<NoiseModel> ZeroNoise::clone() const {
+  return std::make_unique<ZeroNoise>();
+}
+
+ExponentialNoise::ExponentialNoise(Duration mean_delay) : mean_(mean_delay) {
+  IW_REQUIRE(mean_delay.ns() >= 0, "noise mean must be non-negative");
+}
+
+Duration ExponentialNoise::sample(Rng& rng) const {
+  return rng.exponential_duration(mean_);
+}
+
+std::unique_ptr<NoiseModel> ExponentialNoise::clone() const {
+  return std::make_unique<ExponentialNoise>(mean_);
+}
+
+std::string ExponentialNoise::describe() const {
+  return "exponential(mean=" + fmt_duration(mean_) + ")";
+}
+
+GammaNoise::GammaNoise(double shape, Duration mean_delay)
+    : shape_(shape), mean_(mean_delay) {
+  IW_REQUIRE(shape > 0.0, "gamma shape must be positive");
+  IW_REQUIRE(mean_delay.ns() >= 0, "noise mean must be non-negative");
+}
+
+Duration GammaNoise::sample(Rng& rng) const {
+  const double ns = rng.gamma(shape_, static_cast<double>(mean_.ns()));
+  return Duration{static_cast<std::int64_t>(ns + 0.5)};
+}
+
+std::unique_ptr<NoiseModel> GammaNoise::clone() const {
+  return std::make_unique<GammaNoise>(shape_, mean_);
+}
+
+std::string GammaNoise::describe() const {
+  std::ostringstream os;
+  os << "gamma(shape=" << shape_ << ", mean=" << fmt_duration(mean_) << ")";
+  return os.str();
+}
+
+UniformNoise::UniformNoise(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+  IW_REQUIRE(Duration::zero() <= lo && lo <= hi,
+             "uniform noise range must be ordered and non-negative");
+}
+
+Duration UniformNoise::sample(Rng& rng) const {
+  return Duration{static_cast<std::int64_t>(
+      rng.uniform(static_cast<double>(lo_.ns()),
+                  static_cast<double>(hi_.ns())))};
+}
+
+std::unique_ptr<NoiseModel> UniformNoise::clone() const {
+  return std::make_unique<UniformNoise>(lo_, hi_);
+}
+
+std::string UniformNoise::describe() const {
+  return "uniform[" + fmt_duration(lo_) + ", " + fmt_duration(hi_) + "]";
+}
+
+NormalNoise::NormalNoise(Duration mean_delay, Duration stddev)
+    : mean_(mean_delay), stddev_(stddev) {
+  IW_REQUIRE(mean_delay.ns() >= 0, "noise mean must be non-negative");
+  IW_REQUIRE(stddev.ns() >= 0, "noise stddev must be non-negative");
+}
+
+Duration NormalNoise::sample(Rng& rng) const {
+  const double ns = static_cast<double>(mean_.ns()) +
+                    rng.normal() * static_cast<double>(stddev_.ns());
+  return Duration{std::max<std::int64_t>(0, static_cast<std::int64_t>(ns))};
+}
+
+std::unique_ptr<NoiseModel> NormalNoise::clone() const {
+  return std::make_unique<NormalNoise>(mean_, stddev_);
+}
+
+std::string NormalNoise::describe() const {
+  return "normal(mean=" + fmt_duration(mean_) +
+         ", sd=" + fmt_duration(stddev_) + ")";
+}
+
+MixtureNoise::MixtureNoise(std::vector<Component> components)
+    : components_(std::move(components)), total_weight_(0.0) {
+  IW_REQUIRE(!components_.empty(), "mixture needs at least one component");
+  for (const auto& c : components_) {
+    IW_REQUIRE(c.weight > 0.0, "mixture weights must be positive");
+    IW_REQUIRE(c.model != nullptr, "mixture component model missing");
+    total_weight_ += c.weight;
+  }
+}
+
+Duration MixtureNoise::sample(Rng& rng) const {
+  double pick = rng.uniform(0.0, total_weight_);
+  for (const auto& c : components_) {
+    if (pick < c.weight) return c.model->sample(rng);
+    pick -= c.weight;
+  }
+  return components_.back().model->sample(rng);
+}
+
+std::unique_ptr<NoiseModel> MixtureNoise::clone() const {
+  std::vector<Component> copy;
+  copy.reserve(components_.size());
+  for (const auto& c : components_)
+    copy.push_back(Component{c.weight, c.model->clone()});
+  return std::make_unique<MixtureNoise>(std::move(copy));
+}
+
+std::string MixtureNoise::describe() const {
+  std::ostringstream os;
+  os << "mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) os << " + ";
+    os << components_[i].weight / total_weight_ << "*"
+       << components_[i].model->describe();
+  }
+  os << ")";
+  return os.str();
+}
+
+Duration MixtureNoise::mean() const {
+  double ns = 0.0;
+  for (const auto& c : components_)
+    ns += c.weight / total_weight_ * static_cast<double>(c.model->mean().ns());
+  return Duration{static_cast<std::int64_t>(ns + 0.5)};
+}
+
+}  // namespace iw::noise

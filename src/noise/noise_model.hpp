@@ -1,0 +1,118 @@
+// Noise models: per-execution-phase random extra delays.
+//
+// The paper distinguishes fine-grained *noise* (microsecond-scale, OS
+// interference, drivers; Sec. I-A) from long one-off *delays* (which create
+// idle waves). Noise models produce the former; they are sampled once per
+// execution phase and added to the pure compute time.
+//
+// The quantitative decay experiments (Sec. V-A) inject exponential noise
+// with probability density f(t/Texec; lambda) = lambda*exp(-lambda*t/Texec),
+// characterized by E = 1/lambda, the mean relative delay per phase.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace iw::noise {
+
+/// Interface: one sample = extra delay for one execution phase.
+class NoiseModel {
+ public:
+  virtual ~NoiseModel() = default;
+  [[nodiscard]] virtual Duration sample(Rng& rng) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<NoiseModel> clone() const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+  /// Expected value of a sample, for calibration checks.
+  [[nodiscard]] virtual Duration mean() const = 0;
+};
+
+/// No noise at all (the "silent system" of Sec. IV-C).
+class ZeroNoise final : public NoiseModel {
+ public:
+  [[nodiscard]] Duration sample(Rng&) const override { return Duration::zero(); }
+  [[nodiscard]] std::unique_ptr<NoiseModel> clone() const override;
+  [[nodiscard]] std::string describe() const override { return "none"; }
+  [[nodiscard]] Duration mean() const override { return Duration::zero(); }
+};
+
+/// Exponentially distributed noise (paper Eq. 3).
+class ExponentialNoise final : public NoiseModel {
+ public:
+  explicit ExponentialNoise(Duration mean_delay);
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+  [[nodiscard]] std::unique_ptr<NoiseModel> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Duration mean() const override { return mean_; }
+
+ private:
+  Duration mean_;
+};
+
+/// Gamma-distributed noise with configurable shape (shape=1 degenerates to
+/// exponential). Used by the noise-shape ablation.
+class GammaNoise final : public NoiseModel {
+ public:
+  GammaNoise(double shape, Duration mean_delay);
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+  [[nodiscard]] std::unique_ptr<NoiseModel> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Duration mean() const override { return mean_; }
+
+ private:
+  double shape_;
+  Duration mean_;
+};
+
+/// Uniform noise on [lo, hi].
+class UniformNoise final : public NoiseModel {
+ public:
+  UniformNoise(Duration lo, Duration hi);
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+  [[nodiscard]] std::unique_ptr<NoiseModel> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Duration mean() const override { return (lo_ + hi_) / 2; }
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+/// Truncated-at-zero normal noise; building block for bimodal mixtures
+/// (Meggie's SMT-off histogram has a distinct second peak near 660 us).
+class NormalNoise final : public NoiseModel {
+ public:
+  NormalNoise(Duration mean_delay, Duration stddev);
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+  [[nodiscard]] std::unique_ptr<NoiseModel> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Duration mean() const override { return mean_; }
+
+ private:
+  Duration mean_;
+  Duration stddev_;
+};
+
+/// Weighted mixture of component models.
+class MixtureNoise final : public NoiseModel {
+ public:
+  struct Component {
+    double weight;
+    std::unique_ptr<NoiseModel> model;
+  };
+
+  explicit MixtureNoise(std::vector<Component> components);
+  [[nodiscard]] Duration sample(Rng& rng) const override;
+  [[nodiscard]] std::unique_ptr<NoiseModel> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Duration mean() const override;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_;
+};
+
+}  // namespace iw::noise

@@ -1,0 +1,29 @@
+#include "sim/calendar.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace iw::sim {
+
+std::uint64_t Calendar::schedule(SimTime when, EventFn fn) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{when, seq, std::move(fn)});
+  return seq;
+}
+
+SimTime Calendar::next_time() const {
+  IW_REQUIRE(!heap_.empty(), "next_time on empty calendar");
+  return heap_.top().when;
+}
+
+Event Calendar::pop() {
+  IW_REQUIRE(!heap_.empty(), "pop on empty calendar");
+  // std::priority_queue::top() returns const&; the move is safe because we
+  // pop immediately afterwards.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace iw::sim

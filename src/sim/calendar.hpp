@@ -1,0 +1,33 @@
+// The event calendar: a deterministic min-heap of future events.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace iw::sim {
+
+class Calendar {
+ public:
+  /// Enqueues `fn` to run at `when`. Returns the event's sequence number
+  /// (useful only for diagnostics; events cannot be cancelled — cancellation
+  /// is expressed by the closure checking its own validity flag).
+  std::uint64_t schedule(SimTime when, EventFn fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest event. Requires !empty().
+  Event pop();
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace iw::sim

@@ -1,0 +1,33 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace iw::sim {
+
+void Engine::at(SimTime when, EventFn fn) {
+  IW_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  calendar_.schedule(when, std::move(fn));
+}
+
+void Engine::after(Duration delay, EventFn fn) {
+  IW_REQUIRE(delay.ns() >= 0, "event delay must be non-negative");
+  calendar_.schedule(now_ + delay, std::move(fn));
+}
+
+void Engine::run() { run_until(SimTime::max()); }
+
+void Engine::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !calendar_.empty()) {
+    if (calendar_.next_time() > deadline) break;
+    Event ev = calendar_.pop();
+    IW_ASSERT(ev.when >= now_, "calendar produced an out-of-order event");
+    now_ = ev.when;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+}  // namespace iw::sim

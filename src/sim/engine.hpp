@@ -1,0 +1,48 @@
+// The discrete-event engine.
+//
+// The engine owns the simulated clock and the calendar and advances time by
+// firing events in deterministic (time, sequence) order. Everything in
+// idlewave — compute phases, message transfers, protocol handshakes,
+// bandwidth-domain re-scheduling — is expressed as events.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/calendar.hpp"
+#include "support/time.hpp"
+
+namespace iw::sim {
+
+class Engine {
+ public:
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`; `when` must not precede now().
+  void at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after a non-negative delay from now().
+  void after(Duration delay, EventFn fn);
+
+  /// Runs until the calendar empties or stop() is called.
+  void run();
+
+  /// Runs until simulated time exceeds `deadline` (events exactly at the
+  /// deadline still fire), the calendar empties, or stop() is called.
+  void run_until(SimTime deadline);
+
+  /// Requests the run loop to exit after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t events_pending() const { return calendar_.size(); }
+
+ private:
+  Calendar calendar_;
+  SimTime now_ = SimTime::zero();
+  bool stopped_ = false;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace iw::sim

@@ -1,0 +1,33 @@
+// Event primitives for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/time.hpp"
+
+namespace iw::sim {
+
+/// An event action. Events are closures so that the higher layers (MPI
+/// protocol machines, bandwidth domains, processes) can schedule arbitrary
+/// continuations without the engine knowing their types.
+using EventFn = std::function<void()>;
+
+/// A scheduled event. `seq` is a global monotone counter that breaks
+/// timestamp ties deterministically: two events at the same simulated time
+/// always fire in scheduling order, on every platform.
+struct Event {
+  SimTime when;
+  std::uint64_t seq;
+  EventFn fn;
+};
+
+/// Strict weak ordering for the calendar's min-heap.
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace iw::sim

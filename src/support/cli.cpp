@@ -1,0 +1,58 @@
+#include "support/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iw {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& key,
+                        const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Cli::get_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+std::int64_t Cli::get_or(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+
+void Cli::allow_only(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end())
+      throw std::invalid_argument("unknown flag: --" + key);
+  }
+}
+
+}  // namespace iw

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the benches and examples.
+//
+// Accepts `--key=value`, `--key value`, and boolean `--flag` forms. Unknown
+// flags are an error so typos in sweep scripts fail loudly instead of
+// silently running the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iw {
+
+class Cli {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Declares a flag so it passes the unknown-flag check; returns its value.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double get_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t get_or(const std::string& key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Ensures every provided flag is among `known`; throws otherwise.
+  void allow_only(const std::vector<std::string>& known) const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace iw

@@ -1,0 +1,60 @@
+#include "support/csv.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace iw {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter() = default;
+
+CsvWriter::CsvWriter(const std::string& path)
+    : out_(std::make_unique<std::ofstream>(path)) {
+  if (!*out_) throw std::runtime_error("cannot open CSV output: " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string> names) {
+  emit(std::vector<std::string>(names));
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  emit(std::vector<std::string>(fields));
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) { emit(fields); }
+
+void CsvWriter::emit(const std::vector<std::string>& fields) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << quote(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string csv_num(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace iw

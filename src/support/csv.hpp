@@ -1,0 +1,40 @@
+// Minimal CSV emission for figure benches (`--out <file>` support).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iw {
+
+/// Writes rows of comma-separated values with RFC-4180-style quoting of
+/// fields that contain commas, quotes, or newlines. The writer owns the
+/// stream; destruction flushes and closes it.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// A no-op writer (all rows discarded). Lets benches unconditionally call
+  /// row() whether or not --out was given.
+  CsvWriter();
+
+  void header(std::initializer_list<std::string> names);
+  void row(std::initializer_list<std::string> fields);
+  void row(const std::vector<std::string>& fields);
+
+  /// True if this writer actually writes somewhere.
+  [[nodiscard]] bool active() const { return static_cast<bool>(out_); }
+
+ private:
+  void emit(const std::vector<std::string>& fields);
+
+  std::unique_ptr<std::ofstream> out_;
+};
+
+/// Formats a double with enough digits for round-tripping figure data.
+[[nodiscard]] std::string csv_num(double v);
+
+}  // namespace iw

@@ -1,0 +1,41 @@
+// Lightweight contract checking for idlewave.
+//
+// IW_REQUIRE  — precondition check, always on (throws std::invalid_argument).
+// IW_ASSERT   — internal invariant, always on (throws std::logic_error).
+//
+// Simulation code favors loud failure over UB: a broken invariant in a
+// discrete-event simulation silently corrupts every number downstream.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iw {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'p')  // "precondition"
+    throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace iw
+
+#define IW_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::iw::contract_failure("precondition", #cond, __FILE__, __LINE__,    \
+                             (msg));                                       \
+  } while (false)
+
+#define IW_ASSERT(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::iw::contract_failure("invariant", #cond, __FILE__, __LINE__,       \
+                             (msg));                                       \
+  } while (false)

@@ -1,0 +1,73 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace iw {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  IW_REQUIRE(hi > lo, "histogram range must be non-empty");
+  IW_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) {
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  IW_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + 0.5 * width_;
+}
+
+std::size_t Histogram::count(std::size_t i) const {
+  IW_REQUIRE(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::mode_bin() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return static_cast<std::size_t>(it - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t max_bar_width,
+                              bool skip_empty) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (skip_empty && counts_[i] == 0) continue;
+    const auto bar =
+        peak == 0 ? std::size_t{0}
+                  : (counts_[i] * max_bar_width + peak - 1) / peak;
+    os << bin_center(i) << '\t' << counts_[i] << '\t' << fraction(i) << '\t'
+       << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace iw

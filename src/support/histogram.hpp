@@ -1,0 +1,48 @@
+// Fixed-bin-width histogram, used for the Fig. 3 noise characterization
+// (the paper uses 640 ns bins for SMT-on data and 7.2 us bins for SMT-off).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iw {
+
+class Histogram {
+ public:
+  /// Creates a histogram over [lo, hi) with `bins` equal-width bins.
+  /// Out-of-range samples are tallied in underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t count(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+
+  /// Fraction of in-range samples in bin i (0 if the histogram is empty).
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+  /// Index of the most populated bin (0 if empty).
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// Renders the histogram as rows "center count fraction bar" for
+  /// human-readable figure output. Bins with zero count may be skipped.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50,
+                                   bool skip_empty = true) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace iw

@@ -1,0 +1,121 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace iw {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng Rng::for_stream(std::uint64_t master_seed, std::uint64_t rank,
+                    std::uint64_t purpose) {
+  // Mix the three identifiers through SplitMix64 sequentially; the avalanche
+  // behaviour of the finalizer decorrelates neighboring (rank, purpose) pairs.
+  std::uint64_t sm = master_seed;
+  std::uint64_t a = splitmix64(sm);
+  sm ^= 0x632BE59BD9B4E019ULL + rank;
+  std::uint64_t b = splitmix64(sm);
+  sm ^= 0x9E3779B97F4A7C15ULL * (purpose + 1);
+  std::uint64_t c = splitmix64(sm);
+  return Rng{a ^ rotl(b, 17) ^ rotl(c, 41)};
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  IW_REQUIRE(lo <= hi, "uniform range must be ordered");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) {
+  IW_REQUIRE(n > 0, "uniform_below requires n > 0");
+  // Lemire-style rejection: draw until the value falls inside the largest
+  // multiple of n representable in 64 bits.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+double Rng::exponential(double mean) {
+  IW_REQUIRE(mean >= 0.0, "exponential mean must be non-negative");
+  if (mean == 0.0) return 0.0;
+  // Inversion; 1-u in (0,1] avoids log(0).
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal() {
+  // Box–Muller, discarding the second variate for simplicity; callers are
+  // not throughput-critical.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::gamma(double shape, double mean) {
+  IW_REQUIRE(shape > 0.0, "gamma shape must be positive");
+  IW_REQUIRE(mean >= 0.0, "gamma mean must be non-negative");
+  if (mean == 0.0) return 0.0;
+  const double scale = mean / shape;
+  // Marsaglia–Tsang; boost shape < 1 with the standard u^(1/shape) trick.
+  double k = shape;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(uniform(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = 1.0 - uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return boost * d * v * scale;
+  }
+}
+
+Duration Rng::exponential_duration(Duration mean) {
+  IW_REQUIRE(mean.ns() >= 0, "mean duration must be non-negative");
+  const double ns = exponential(static_cast<double>(mean.ns()));
+  return Duration{static_cast<std::int64_t>(ns + 0.5)};
+}
+
+}  // namespace iw

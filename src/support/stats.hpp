@@ -1,0 +1,50 @@
+// Descriptive statistics and least-squares fitting.
+//
+// The paper reports medians with min/max whiskers (Figs. 1, 8) and the core
+// quantitative results are slopes: idle-wave front speed (ranks/s) and decay
+// rate (us/rank) are both linear-regression slopes over (rank, time) or
+// (rank, idle-duration) point sets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iw {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+/// Computes the full summary of `values`. Empty input yields a zero summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Median (average of central pair for even counts); 0 for empty input.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Result of an ordinary-least-squares line fit y = slope*x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;            ///< coefficient of determination
+  std::size_t n = 0;          ///< number of points used
+};
+
+/// Fits a line through (x[i], y[i]). Requires x.size() == y.size(); returns a
+/// zero fit for fewer than two points or degenerate (constant) x.
+[[nodiscard]] LineFit fit_line(std::span<const double> x,
+                               std::span<const double> y);
+
+}  // namespace iw

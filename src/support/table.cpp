@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace iw {
+
+void TextTable::columns(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  IW_REQUIRE(cells.size() <= headers_.size() || headers_.empty(),
+             "row has more cells than table columns");
+  if (!headers_.empty()) cells.resize(headers_.size());
+  IW_ASSERT(!cells.empty(), "cannot add an empty row; use add_separator");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  const std::size_t ncols =
+      headers_.empty()
+          ? (rows_.empty() ? 0 : rows_.front().size())
+          : headers_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (c < headers_.size()) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) os << "  ";
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[c])) << cell;
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  };
+
+  if (!headers_.empty()) {
+    emit_row(headers_);
+    emit_rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.empty())
+      emit_rule();
+    else
+      emit_row(row);
+  }
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace iw

@@ -1,0 +1,86 @@
+#include "workload/ring.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace iw::workload {
+namespace {
+
+/// Resolves rank + offset under the boundary rule; -1 if outside an open
+/// chain.
+int neighbor(const RingSpec& spec, int rank, int offset) {
+  const int n = spec.ranks;
+  int peer = rank + offset;
+  if (spec.boundary == Boundary::periodic) return ((peer % n) + n) % n;
+  return (peer >= 0 && peer < n) ? peer : -1;
+}
+
+void validate(const RingSpec& spec) {
+  IW_REQUIRE(spec.ranks >= 2, "ring needs at least two ranks");
+  IW_REQUIRE(spec.distance >= 1, "communication distance must be >= 1");
+  IW_REQUIRE(spec.distance < spec.ranks,
+             "communication distance must be smaller than the ring");
+  IW_REQUIRE(spec.steps >= 1, "need at least one timestep");
+  IW_REQUIRE(spec.msg_bytes >= 0, "message size must be non-negative");
+  if (spec.boundary == Boundary::periodic)
+    IW_REQUIRE(2 * spec.distance < spec.ranks,
+               "periodic ring must be larger than the neighborhood");
+}
+
+}  // namespace
+
+std::vector<int> send_peers(const RingSpec& spec, int rank) {
+  std::vector<int> peers;
+  for (int k = 1; k <= spec.distance; ++k) {
+    if (const int up = neighbor(spec, rank, k); up >= 0) peers.push_back(up);
+    if (spec.direction == Direction::bidirectional)
+      if (const int down = neighbor(spec, rank, -k); down >= 0)
+        peers.push_back(down);
+  }
+  return peers;
+}
+
+std::vector<int> recv_peers(const RingSpec& spec, int rank) {
+  std::vector<int> peers;
+  for (int k = 1; k <= spec.distance; ++k) {
+    if (const int down = neighbor(spec, rank, -k); down >= 0)
+      peers.push_back(down);
+    if (spec.direction == Direction::bidirectional)
+      if (const int up = neighbor(spec, rank, k); up >= 0)
+        peers.push_back(up);
+  }
+  return peers;
+}
+
+std::vector<mpi::Program> build_ring(const RingSpec& spec,
+                                     std::span<const DelaySpec> delays) {
+  validate(spec);
+
+  // Index delays by (rank, step) for O(1) lookup while emitting.
+  std::map<std::pair<int, int>, Duration> delay_at;
+  for (const auto& d : delays) {
+    IW_REQUIRE(d.rank >= 0 && d.rank < spec.ranks, "delay rank out of range");
+    IW_REQUIRE(d.step >= 0 && d.step < spec.steps, "delay step out of range");
+    delay_at[{d.rank, d.step}] += d.duration;
+  }
+
+  std::vector<mpi::Program> programs(static_cast<std::size_t>(spec.ranks));
+  for (int rank = 0; rank < spec.ranks; ++rank) {
+    auto& prog = programs[static_cast<std::size_t>(rank)];
+    const auto sends = send_peers(spec, rank);
+    const auto recvs = recv_peers(spec, rank);
+    for (int step = 0; step < spec.steps; ++step) {
+      prog.mark(step);
+      prog.compute(spec.texec, spec.noisy);
+      if (const auto it = delay_at.find({rank, step}); it != delay_at.end())
+        prog.inject(it->second);
+      for (const int peer : sends) prog.isend(peer, spec.msg_bytes, step);
+      for (const int peer : recvs) prog.irecv(peer, spec.msg_bytes, step);
+      prog.waitall();
+    }
+  }
+  return programs;
+}
+
+}  // namespace iw::workload

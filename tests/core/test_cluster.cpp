@@ -1,0 +1,139 @@
+// Tests for the Cluster facade and experiment helpers.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "workload/delay.hpp"
+#include "workload/ring.hpp"
+
+namespace iw::core {
+namespace {
+
+TEST(Cluster, RunsARingToCompletion) {
+  workload::RingSpec ring;
+  ring.ranks = 4;
+  ring.steps = 3;
+  ring.texec = milliseconds(1.0);
+  ring.noisy = false;
+
+  ClusterConfig config = cluster_for_ring(ring);
+  Cluster cluster(config);
+  const auto trace = cluster.run(workload::build_ring(ring));
+  EXPECT_EQ(trace.ranks(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GE(trace.finish(r), SimTime::zero() + milliseconds(3.0));
+    EXPECT_EQ(trace.step_begin(r).size(), 3u);
+  }
+  EXPECT_GT(cluster.events_processed(), 0u);
+}
+
+TEST(Cluster, RunIsSingleShot) {
+  workload::RingSpec ring;
+  ring.ranks = 2;
+  ring.steps = 1;
+  ring.noisy = false;
+  ClusterConfig config = cluster_for_ring(ring);
+  Cluster cluster(config);
+  const auto programs = workload::build_ring(ring);
+  (void)cluster.run(programs);
+  EXPECT_THROW((void)cluster.run(programs), std::invalid_argument);
+}
+
+TEST(Cluster, ProgramCountMustMatchRanks) {
+  workload::RingSpec ring;
+  ring.ranks = 4;
+  ClusterConfig config = cluster_for_ring(ring);
+  config.topo.ranks = 5;
+  Cluster cluster(config);
+  EXPECT_THROW((void)cluster.run(workload::build_ring(ring)),
+               std::invalid_argument);
+}
+
+TEST(Cluster, MessageTimeFollowsProtocol) {
+  workload::RingSpec ring;
+  ring.ranks = 4;
+  ClusterConfig config = cluster_for_ring(ring);
+  Cluster cluster(config);
+  const Duration small = cluster.message_time(0, 1, 8192);
+  const Duration large = cluster.message_time(0, 1, 200'000);
+  EXPECT_LT(small, large);
+}
+
+TEST(Cluster, SystemNoiseChangesTiming) {
+  workload::RingSpec ring;
+  ring.ranks = 2;
+  ring.steps = 10;
+  ring.texec = milliseconds(1.0);
+
+  ClusterConfig silent = cluster_for_ring(ring);
+  silent.system_noise = noise::NoiseSpec::none();
+  Cluster c1(silent);
+  const auto t_silent = c1.run(workload::build_ring(ring)).makespan();
+
+  ClusterConfig noisy = cluster_for_ring(ring);
+  noisy.system_noise = noise::NoiseSpec::exponential(microseconds(200.0));
+  Cluster c2(noisy);
+  const auto t_noisy = c2.run(workload::build_ring(ring)).makespan();
+
+  EXPECT_GT(t_noisy, t_silent);
+}
+
+TEST(ExperimentHelpers, MeasuredCycleFromMarks) {
+  mpi::Trace trace(1);
+  for (int s = 0; s < 5; ++s)
+    trace.mark_step(0, s, SimTime{s * 2'000'000});
+  EXPECT_EQ(measured_cycle(trace, 0, 1, 4), milliseconds(2.0));
+  EXPECT_THROW((void)measured_cycle(trace, 0, 3, 3), std::invalid_argument);
+  EXPECT_THROW((void)measured_cycle(trace, 0, 0, 5), std::invalid_argument);
+}
+
+TEST(ExperimentHelpers, InjectionBegin) {
+  mpi::Trace trace(2);
+  trace.add_segment(1, {mpi::SegKind::injected, SimTime{42}, SimTime{100},
+                        0, Duration::zero()});
+  EXPECT_EQ(injection_begin(trace, 1), SimTime{42});
+  EXPECT_EQ(injection_begin(trace, 0), SimTime::zero());
+}
+
+TEST(ExperimentHelpers, ClusterForRingShapes) {
+  workload::RingSpec ring;
+  ring.ranks = 12;
+  const ClusterConfig ppn1 = cluster_for_ring(ring, true);
+  EXPECT_EQ(net::Topology(ppn1.topo).nodes(), 12);
+  const ClusterConfig packed = cluster_for_ring(ring, false, 6);
+  EXPECT_EQ(net::Topology(packed.topo).sockets(), 2);
+}
+
+TEST(RunWaveExperiment, NoDelaysMeansNoWave) {
+  workload::RingSpec ring;
+  ring.ranks = 4;
+  ring.steps = 3;
+  ring.noisy = false;
+  WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = cluster_for_ring(ring);
+  const auto result = run_wave_experiment(exp);
+  EXPECT_TRUE(result.up.observations.empty());
+  EXPECT_TRUE(result.down.observations.empty());
+  EXPECT_EQ(result.trace.ranks(), 4);
+}
+
+TEST(RunWaveExperiment, ReportsProtocolAndPrediction) {
+  workload::RingSpec ring;
+  ring.ranks = 8;
+  ring.steps = 12;
+  ring.texec = milliseconds(1.0);
+  ring.noisy = false;
+  WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = cluster_for_ring(ring);
+  exp.delays = workload::single_delay(2, 0, milliseconds(5.0));
+  const auto result = run_wave_experiment(exp);
+  EXPECT_EQ(result.protocol, mpi::WireProtocol::eager);
+  EXPECT_GT(result.predicted_speed, 900.0);   // ~1000 ranks/s at 1 ms
+  EXPECT_LT(result.predicted_speed, 1000.0);  // comm adds a little
+  EXPECT_GT(result.up.speed_ranks_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace iw::core

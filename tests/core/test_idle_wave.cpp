@@ -1,0 +1,140 @@
+// Tests for idle-period extraction and wave-front analysis on crafted traces.
+#include <gtest/gtest.h>
+
+#include "core/idle_wave.hpp"
+
+namespace iw::core {
+namespace {
+
+mpi::Segment wait_seg(std::int64_t b_ms, std::int64_t e_ms) {
+  return mpi::Segment{mpi::SegKind::wait, SimTime{b_ms * 1'000'000},
+                      SimTime{e_ms * 1'000'000}, 0, Duration::zero()};
+}
+
+TEST(IdlePeriods, FiltersByMinimumDuration) {
+  mpi::Trace trace(2);
+  trace.add_segment(0, wait_seg(0, 5));
+  trace.add_segment(0, wait_seg(10, 10));  // zero length (excluded)
+  trace.add_segment(0, wait_seg(20, 21));  // 1 ms
+  const auto all = idle_periods(trace, 0, Duration::zero());
+  EXPECT_EQ(all.size(), 3u);
+  const auto big = idle_periods(trace, 0, milliseconds(2.0));
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0].duration(), milliseconds(5.0));
+}
+
+TEST(IdlePeriods, IgnoresNonWaitSegments) {
+  mpi::Trace trace(1);
+  trace.add_segment(0, mpi::Segment{mpi::SegKind::compute, SimTime{0},
+                                    SimTime{1'000'000'000}, 0,
+                                    Duration::zero()});
+  trace.add_segment(0, mpi::Segment{mpi::SegKind::injected, SimTime{0},
+                                    SimTime{1'000'000'000}, 0,
+                                    Duration::zero()});
+  EXPECT_TRUE(idle_periods(trace, 0, Duration::zero()).empty());
+}
+
+TEST(RankAtHops, OpenChainClipsAtEdges) {
+  EXPECT_EQ(rank_at_hops(5, 2, +1, 10, workload::Boundary::open), 7);
+  EXPECT_EQ(rank_at_hops(5, 5, -1, 10, workload::Boundary::open), 0);
+  EXPECT_EQ(rank_at_hops(5, 6, -1, 10, workload::Boundary::open),
+            std::nullopt);
+  EXPECT_EQ(rank_at_hops(5, 5, +1, 10, workload::Boundary::open),
+            std::nullopt);
+}
+
+TEST(RankAtHops, PeriodicWraps) {
+  EXPECT_EQ(rank_at_hops(5, 6, +1, 10, workload::Boundary::periodic), 1);
+  EXPECT_EQ(rank_at_hops(5, 6, -1, 10, workload::Boundary::periodic), 9);
+  EXPECT_EQ(rank_at_hops(0, 10, +1, 10, workload::Boundary::periodic), 0);
+}
+
+/// Builds a synthetic trace of a clean wave: injected at rank 2, arriving
+/// at rank 2+k at time (10 + 4k) ms with amplitude (20 - 2k) ms.
+mpi::Trace synthetic_wave(int ranks) {
+  mpi::Trace trace(ranks);
+  trace.add_segment(2, mpi::Segment{mpi::SegKind::injected,
+                                    SimTime{10'000'000}, SimTime{30'000'000},
+                                    0, Duration::zero()});
+  for (int k = 1; 2 + k < ranks; ++k) {
+    const std::int64_t begin = (10 + 4 * k) * 1'000'000;
+    const std::int64_t dur = (20 - 2 * k) * 1'000'000;
+    if (dur <= 0) break;
+    trace.add_segment(2 + k,
+                      mpi::Segment{mpi::SegKind::wait, SimTime{begin},
+                                   SimTime{begin + dur}, 0, Duration::zero()});
+  }
+  return trace;
+}
+
+TEST(AnalyzeWave, RecoversSpeedAndDecayExactly) {
+  const mpi::Trace trace = synthetic_wave(12);
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  probe.direction = +1;
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+
+  // Front: 4 ms per hop -> 250 ranks/s.
+  EXPECT_NEAR(wave.speed_ranks_per_sec, 250.0, 1e-6);
+  EXPECT_NEAR(wave.front_fit.r2, 1.0, 1e-12);
+  // Amplitude: -2 ms per hop -> decay 2000 us/rank.
+  EXPECT_NEAR(wave.decay_us_per_rank, 2000.0, 1e-6);
+  // Amplitudes 18,16,...,2 ms: 9 ranks reached.
+  EXPECT_EQ(wave.survival_hops, 9);
+}
+
+TEST(AnalyzeWave, MinIdleCutsShortPeriods) {
+  const mpi::Trace trace = synthetic_wave(12);
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(10.0);  // only amplitudes >= 10 ms count
+  probe.direction = +1;
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  EXPECT_EQ(wave.survival_hops, 5);  // 18,16,14,12,10
+}
+
+TEST(AnalyzeWave, DirectionDownFindsNothingInUpwardWave) {
+  const mpi::Trace trace = synthetic_wave(12);
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  probe.direction = -1;
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  EXPECT_EQ(wave.survival_hops, 0);
+  EXPECT_DOUBLE_EQ(wave.speed_ranks_per_sec, 0.0);
+}
+
+TEST(AnalyzeWave, MaxHopsLimitsProbe) {
+  const mpi::Trace trace = synthetic_wave(12);
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  probe.direction = +1;
+  probe.max_hops = 3;
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  EXPECT_EQ(wave.observations.size(), 3u);
+  EXPECT_EQ(wave.survival_hops, 3);
+}
+
+TEST(AnalyzeWave, WaitsEndingBeforeInjectionAreIgnored) {
+  mpi::Trace trace(4);
+  // A long pre-existing wait on rank 3 ends before injection.
+  trace.add_segment(3, wait_seg(0, 5));
+  trace.add_segment(3, wait_seg(20, 30));
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  probe.direction = +1;
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  ASSERT_TRUE(wave.observations[0].reached);
+  EXPECT_EQ(wave.observations[0].arrival, SimTime{20'000'000});
+}
+
+}  // namespace
+}  // namespace iw::core

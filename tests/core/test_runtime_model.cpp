@@ -1,0 +1,57 @@
+// Tests for the Eq. 1 nonoverlapping runtime model.
+#include <gtest/gtest.h>
+
+#include "core/runtime_model.hpp"
+
+namespace iw::core {
+namespace {
+
+TEST(RuntimeModel, PaperParametersOneSocket) {
+  const StreamModelParams p;  // paper defaults
+  // Memory term: 1.2 GB / 40 GB/s = 30 ms; comm term: 4 MB / 3 GB/s ~ 1.33 ms.
+  EXPECT_EQ(stream_exec_time(p, 1), milliseconds(30.0));
+  EXPECT_NEAR(stream_cycle_time(p, 1).ms(), 31.33, 0.01);
+}
+
+TEST(RuntimeModel, MemoryTermScalesCommTermDoesNot) {
+  const StreamModelParams p;
+  EXPECT_EQ(stream_exec_time(p, 2), milliseconds(15.0));
+  EXPECT_EQ(stream_exec_time(p, 10), milliseconds(3.0));
+  const Duration comm1 = stream_cycle_time(p, 1) - stream_exec_time(p, 1);
+  const Duration comm10 = stream_cycle_time(p, 10) - stream_exec_time(p, 10);
+  EXPECT_EQ(comm1, comm10);
+}
+
+TEST(RuntimeModel, PerformanceNumbersMatchFigureScale) {
+  const StreamModelParams p;
+  // 1 socket: 1e8 flop / 31.33 ms ~ 3.2 GF/s — the scale of Fig. 1(b).
+  EXPECT_NEAR(stream_performance(p, 1) / 1e9, 3.19, 0.05);
+  // 9 sockets: exec 3.33 ms + comm 1.33 ms -> ~21 GF/s (Fig. 1(a) red).
+  EXPECT_NEAR(stream_performance(p, 9) / 1e9, 21.4, 0.5);
+  // Execution-only model scales linearly.
+  EXPECT_NEAR(stream_exec_performance(p, 9) / stream_exec_performance(p, 1),
+              9.0, 1e-5);  // ns rounding of the cycle time
+}
+
+TEST(RuntimeModel, CommBoundAtLargeSocketCounts) {
+  const StreamModelParams p;
+  // As n grows the model saturates at flops / (2*Vnet/bnet) ~ 75 GF/s.
+  const double cap =
+      static_cast<double>(p.flops) / (2.0 * p.vnet_bytes / p.bnet_Bps);
+  EXPECT_LT(stream_performance(p, 1000), cap);
+  EXPECT_GT(stream_performance(p, 1000), 0.95 * cap);
+}
+
+TEST(RuntimeModel, PerformanceFromTime) {
+  EXPECT_DOUBLE_EQ(performance_from_time(1'000'000, milliseconds(1.0)), 1e9);
+  EXPECT_THROW((void)performance_from_time(1, Duration::zero()),
+               std::invalid_argument);
+}
+
+TEST(RuntimeModel, RejectsBadSocketCount) {
+  const StreamModelParams p;
+  EXPECT_THROW((void)stream_exec_time(p, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw::core

@@ -1,0 +1,66 @@
+// Tests for the Eq. 2 analytic propagation-speed model.
+#include <gtest/gtest.h>
+
+#include "core/speed_model.hpp"
+
+namespace iw::core {
+namespace {
+
+using workload::Direction;
+using mpi::WireProtocol;
+
+TEST(SpeedModel, SigmaTwoOnlyForBidirectionalRendezvous) {
+  EXPECT_EQ(sigma_factor(Direction::unidirectional, WireProtocol::eager), 1);
+  EXPECT_EQ(sigma_factor(Direction::bidirectional, WireProtocol::eager), 1);
+  EXPECT_EQ(sigma_factor(Direction::unidirectional, WireProtocol::rendezvous),
+            1);
+  EXPECT_EQ(sigma_factor(Direction::bidirectional, WireProtocol::rendezvous),
+            2);
+}
+
+TEST(SpeedModel, PaperDefaultNumbers) {
+  // Texec = 3 ms, negligible Tcomm: ~333 ranks/s for sigma = d = 1.
+  const double v = v_silent(1, 1, milliseconds(3.0), microseconds(10.0));
+  EXPECT_NEAR(v, 332.2, 0.2);
+}
+
+TEST(SpeedModel, ScalesLinearlyInSigmaAndD) {
+  const Duration texec = milliseconds(3.0);
+  const Duration tcomm = microseconds(100.0);
+  const double base = v_silent(1, 1, texec, tcomm);
+  EXPECT_DOUBLE_EQ(v_silent(2, 1, texec, tcomm), 2.0 * base);
+  EXPECT_DOUBLE_EQ(v_silent(1, 3, texec, tcomm), 3.0 * base);
+  EXPECT_DOUBLE_EQ(v_silent(2, 3, texec, tcomm), 6.0 * base);
+}
+
+TEST(SpeedModel, CommunicationAndExecutionOnEqualFooting) {
+  // Eq. 2: only the sum Texec + Tcomm matters.
+  const double a = v_silent(1, 1, milliseconds(2.0), milliseconds(1.0));
+  const double b = v_silent(1, 1, milliseconds(1.0), milliseconds(2.0));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SpeedModel, ModeOverloadAgrees) {
+  const Duration texec = milliseconds(3.0);
+  const Duration tcomm = microseconds(50.0);
+  EXPECT_DOUBLE_EQ(
+      v_silent(Direction::bidirectional, WireProtocol::rendezvous, 2, texec,
+               tcomm),
+      v_silent(2, 2, texec, tcomm));
+  EXPECT_DOUBLE_EQ(
+      v_silent(Direction::unidirectional, WireProtocol::rendezvous, 2, texec,
+               tcomm),
+      v_silent(1, 2, texec, tcomm));
+}
+
+TEST(SpeedModel, RejectsInvalidInputs) {
+  EXPECT_THROW((void)v_silent(3, 1, milliseconds(1.0), Duration::zero()),
+               std::invalid_argument);
+  EXPECT_THROW((void)v_silent(1, 0, milliseconds(1.0), Duration::zero()),
+               std::invalid_argument);
+  EXPECT_THROW((void)v_silent(1, 1, Duration::zero(), Duration::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw::core

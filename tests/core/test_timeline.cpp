@@ -1,0 +1,104 @@
+// Tests for the ASCII timeline renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/timeline.hpp"
+
+namespace iw::core {
+namespace {
+
+mpi::Trace two_rank_trace() {
+  mpi::Trace trace(2);
+  // Rank 0: compute 0-10 ms, injected delay 10-20 ms.
+  trace.add_segment(0, {mpi::SegKind::compute, SimTime{0},
+                        SimTime{10'000'000}, 0, Duration::zero()});
+  trace.add_segment(0, {mpi::SegKind::injected, SimTime{10'000'000},
+                        SimTime{20'000'000}, 0, Duration::zero()});
+  // Rank 1: compute 0-10 ms, waits 10-20 ms.
+  trace.add_segment(1, {mpi::SegKind::compute, SimTime{0},
+                        SimTime{10'000'000}, 0, Duration::zero()});
+  trace.add_segment(1, {mpi::SegKind::wait, SimTime{10'000'000},
+                        SimTime{20'000'000}, 0, Duration::zero()});
+  trace.set_finish(0, SimTime{20'000'000});
+  trace.set_finish(1, SimTime{20'000'000});
+  return trace;
+}
+
+TEST(Timeline, GlyphsMatchSegments) {
+  const auto trace = two_rank_trace();
+  TimelineOptions opts;
+  opts.columns = 10;
+  const std::string art = render_timeline(trace, opts);
+  std::istringstream in(art);
+  std::string line1, line0;
+  std::getline(in, line1);  // highest rank first
+  std::getline(in, line0);
+  EXPECT_NE(line1.find("....."), std::string::npos);
+  EXPECT_NE(line1.find("#####"), std::string::npos);
+  EXPECT_NE(line0.find("DDDDD"), std::string::npos);
+  EXPECT_EQ(line0.find('#'), std::string::npos);
+}
+
+TEST(Timeline, RanksRenderTopDown) {
+  const auto trace = two_rank_trace();
+  TimelineOptions opts;
+  opts.columns = 10;
+  const std::string art = render_timeline(trace, opts);
+  EXPECT_LT(art.find("  1 |"), art.find("  0 |"));
+}
+
+TEST(Timeline, WindowClipsSegments) {
+  const auto trace = two_rank_trace();
+  TimelineOptions opts;
+  opts.columns = 10;
+  opts.from = SimTime{0};
+  opts.to = SimTime{10'000'000};  // only the compute part
+  opts.show_axis = false;         // the axis legend itself contains D and #
+  const std::string art = render_timeline(trace, opts);
+  EXPECT_EQ(art.find('D'), std::string::npos);
+  EXPECT_EQ(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find(".........."), std::string::npos);
+}
+
+TEST(Timeline, AxisOptional) {
+  const auto trace = two_rank_trace();
+  TimelineOptions opts;
+  opts.columns = 10;
+  opts.show_axis = false;
+  EXPECT_EQ(render_timeline(trace, opts).find("t = "), std::string::npos);
+  opts.show_axis = true;
+  EXPECT_NE(render_timeline(trace, opts).find("t = "), std::string::npos);
+}
+
+TEST(Timeline, SocketSeparators) {
+  mpi::Trace trace(4);
+  for (int r = 0; r < 4; ++r) {
+    trace.add_segment(r, {mpi::SegKind::compute, SimTime{0}, SimTime{1000},
+                          0, Duration::zero()});
+    trace.set_finish(r, SimTime{1000});
+  }
+  TimelineOptions opts;
+  opts.columns = 10;
+  opts.socket_separators = true;
+  opts.ranks_per_socket = 2;
+  opts.show_axis = false;
+  const std::string art = render_timeline(trace, opts);
+  // One separator between rank 2 and rank 1 (socket boundary), none at top.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '-'),
+            10);  // exactly one 10-wide rule
+}
+
+TEST(Timeline, InvalidOptionsRejected) {
+  const auto trace = two_rank_trace();
+  TimelineOptions opts;
+  opts.columns = 0;
+  EXPECT_THROW((void)render_timeline(trace, opts), std::invalid_argument);
+  opts.columns = 10;
+  opts.from = SimTime{5};
+  opts.to = SimTime{5};
+  EXPECT_THROW((void)render_timeline(trace, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw::core

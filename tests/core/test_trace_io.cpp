@@ -1,0 +1,78 @@
+// Tests for trace CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/trace_io.hpp"
+
+namespace iw::core {
+namespace {
+
+mpi::Trace sample_trace() {
+  mpi::Trace trace(2);
+  trace.add_segment(0, {mpi::SegKind::compute, SimTime{0}, SimTime{3000000},
+                        0, Duration{2400}});
+  trace.add_segment(0, {mpi::SegKind::wait, SimTime{3000000},
+                        SimTime{3500000}, 0, Duration::zero()});
+  trace.add_segment(1, {mpi::SegKind::injected, SimTime{100}, SimTime{200},
+                        1, Duration::zero()});
+  trace.mark_step(0, 0, SimTime{0});
+  trace.mark_step(0, 1, SimTime{3500000});
+  trace.mark_step(1, 0, SimTime{50});
+  trace.set_finish(0, SimTime{3500000});
+  trace.set_finish(1, SimTime{200});
+  return trace;
+}
+
+TEST(TraceIo, SegmentsCsvRowsAndHeader) {
+  std::ostringstream out;
+  write_segments_csv(sample_trace(), out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "rank,kind,begin_ns,end_ns,duration_ns,step,noise_ns");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,compute,0,3000000,3000000,0,2400");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,wait,3000000,3500000,500000,0,0");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,injected,100,200,100,1,0");
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(TraceIo, StepPositionsCsv) {
+  std::ostringstream out;
+  write_step_positions_csv(sample_trace(), out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "step,rank,begin_ns");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,0,0");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,0,3500000");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1,50");
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "trace_io_test.tmp.csv";
+  write_segments_csv(sample_trace(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 4);  // header + 3 segments
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BadPathThrows) {
+  EXPECT_THROW(write_segments_csv(sample_trace(), "/nonexistent-dir/x.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace iw::core

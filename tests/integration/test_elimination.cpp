@@ -1,0 +1,118 @@
+// Integration: idle-period elimination by noise (paper Sec. V-B, Fig. 9) —
+// "the application slowdown usually caused by strong idle waves may be
+// unobservable due to the presence of noise".
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "workload/delay.hpp"
+
+namespace iw::core {
+namespace {
+
+/// Fig. 9 setup: 36 ranks (six per socket on six sockets), 30 steps,
+/// Texec = 1.5 ms, a 6 ms idle wave (4 phases) injected at rank 1, step 1.
+struct Fig9Run {
+  Duration makespan;
+  Duration excess;  ///< relative to the same system without the delay
+};
+
+Fig9Run run_fig9(double E_percent, bool with_delay, std::uint64_t seed) {
+  workload::RingSpec ring;
+  ring.ranks = 36;
+  ring.direction = workload::Direction::bidirectional;
+  ring.boundary = workload::Boundary::periodic;
+  ring.msg_bytes = 8192;
+  ring.steps = 30;
+  ring.texec = milliseconds(1.5);
+
+  WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = cluster_for_ring(ring, /*ppn1=*/false, /*per_socket=*/6);
+  exp.cluster.seed = seed;
+  if (with_delay)
+    exp.delays = workload::single_delay(1, 1, milliseconds(6.0));
+  if (E_percent > 0)
+    exp.injected_noise = noise::NoiseSpec::exponential(
+        milliseconds(1.5 * E_percent / 100.0));
+
+  const auto result = run_wave_experiment(exp);
+  return Fig9Run{result.trace.makespan() - SimTime::zero(), Duration::zero()};
+}
+
+Duration excess_at(double E_percent, std::uint64_t seed) {
+  const Duration with = run_fig9(E_percent, true, seed).makespan;
+  const Duration without = run_fig9(E_percent, false, seed).makespan;
+  return with - without;
+}
+
+TEST(WaveElimination, NoiseFreeBaselineMatchesPaperTotal) {
+  // Fig. 9(a): ttotal = 51.1 ms at E = 0 (30 * 1.5 ms + 6 ms + comm).
+  const auto run = run_fig9(0.0, true, 1);
+  EXPECT_NEAR(run.makespan.ms(), 51.1, 1.5);
+}
+
+TEST(WaveElimination, NoiseFreeExcessEqualsInjectedDelay) {
+  // Fig. 9(a): "the excess runtime is roughly equal to the injected delay".
+  const Duration excess = excess_at(0.0, 1);
+  EXPECT_NEAR(excess.ms(), 6.0, 0.5);
+}
+
+TEST(WaveElimination, ModerateNoiseShrinksExcessOnlyMarginally) {
+  // Fig. 9(b) at E = 20%: strong wave decay, but the runtime saving is
+  // marginal; the overall runtime grows because of the noise itself.
+  // Paper: 82.7 ms vs 51.1 ms. Our simulated noisy background advances at
+  // ~2x the mean injected noise per step; the real system's (KPZ-like
+  // coupled growth plus natural noise) is faster, so our total lands lower.
+  // The qualitative statement under test: substantially above the silent
+  // run, in the 60-90 ms band, with the noise (not the wave) dominating.
+  const auto noisy = run_fig9(20.0, true, 1);
+  const auto silent = run_fig9(0.0, true, 1);
+  EXPECT_GT(noisy.makespan.ms(), silent.makespan.ms() * 1.25);
+  EXPECT_NEAR(noisy.makespan.ms(), 75.0, 15.0);
+}
+
+TEST(WaveElimination, StrongNoiseAbsorbsTheWave) {
+  // Fig. 9(c) at E = 25%: the paper observes no excess runtime. Our
+  // background absorbs more slowly (see EXPERIMENTS.md), so at E = 25% the
+  // wave is partially absorbed and at E = 50% it is gone. Median over
+  // seeds to tame variance.
+  auto median_excess = [](double E) {
+    std::vector<double> v;
+    for (std::uint64_t seed = 1; seed <= 7; ++seed)
+      v.push_back(excess_at(E, seed).ms());
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double at25 = median_excess(25.0);
+  const double at50 = median_excess(50.0);
+  EXPECT_LT(at25, 4.5);  // > 25% of the 6 ms delay absorbed
+  EXPECT_LT(at50, 2.0);  // essentially absorbed
+}
+
+TEST(WaveElimination, ExcessDecreasesMonotonicallyWithNoise) {
+  // The elimination effect: median excess strictly shrinks with E.
+  auto median_excess = [](double E) {
+    std::vector<double> v;
+    for (std::uint64_t seed = 1; seed <= 7; ++seed)
+      v.push_back(excess_at(E, seed).ms());
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double e0 = median_excess(0.0);
+  const double e20 = median_excess(20.0);
+  const double e40 = median_excess(40.0);
+  EXPECT_GT(e0, e20);
+  EXPECT_GT(e20, e40);
+  EXPECT_LT(e40, e0 / 2.0);
+}
+
+TEST(WaveElimination, NoiseAloneCostsRuntime) {
+  // Sanity: the noisy-but-undelayed system is slower than the silent
+  // undelayed one — noise is not free, it just hides the wave.
+  const auto silent = run_fig9(0.0, false, 3);
+  const auto noisy = run_fig9(25.0, false, 3);
+  EXPECT_GT(noisy.makespan.ms(), silent.makespan.ms() * 1.2);
+}
+
+}  // namespace
+}  // namespace iw::core

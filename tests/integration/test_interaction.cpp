@@ -1,0 +1,126 @@
+// Integration: interacting idle waves (paper Sec. IV-B, Fig. 6) —
+// cancellation is what rules out a linear wave equation.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "workload/delay.hpp"
+
+namespace iw::core {
+namespace {
+
+/// Fig. 6 setup: 100 ranks, 10 per socket, eager bidirectional periodic.
+WaveExperiment fig6_experiment() {
+  workload::RingSpec ring;
+  ring.ranks = 100;
+  ring.direction = workload::Direction::bidirectional;
+  ring.boundary = workload::Boundary::periodic;
+  ring.msg_bytes = 16384;
+  ring.steps = 20;
+  ring.texec = milliseconds(3.0);
+  ring.noisy = false;
+
+  WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = cluster_for_ring(ring, /*ppn1=*/false, /*per_socket=*/10);
+  return exp;
+}
+
+Duration ideal_runtime(const WaveExperiment& exp, Duration delay) {
+  return exp.ring.texec * exp.ring.steps + delay;
+}
+
+TEST(WaveInteraction, EqualDelaysCancelCompletely) {
+  // Fig. 6(a): identical delays at local rank 5 of every socket. Waves
+  // meet after five hops and annihilate: total excess = one delay.
+  WaveExperiment exp = fig6_experiment();
+  Rng rng(1);
+  exp.delays = workload::per_socket_delays(
+      10, 10, 5, 0, milliseconds(9.0), workload::MultiDelayMode::equal, rng);
+  const auto result = run_wave_experiment(exp);
+
+  const Duration makespan = result.trace.makespan() - SimTime::zero();
+  EXPECT_NEAR((makespan - ideal_runtime(exp, milliseconds(9.0))).ms(), 0.0,
+              1.0);
+
+  // Cancellation point: the midpoint rank between two injection sites
+  // (5 hops away) idles for at most one delay-worth; ranks beyond the
+  // meeting point see no wave at all in later steps. Check a far rank's
+  // total wait does not exceed ~ the single delay.
+  for (int r = 0; r < 100; ++r)
+    EXPECT_LT(result.trace.total(r, mpi::SegKind::wait).ms(), 10.5)
+        << "rank " << r;
+}
+
+TEST(WaveInteraction, HalfDelaysPartiallyCancel) {
+  // Fig. 6(b): odd sockets inject half-length delays. The longer waves
+  // survive the first collision and keep propagating until they meet their
+  // symmetric counterparts.
+  WaveExperiment exp = fig6_experiment();
+  Rng rng(1);
+  exp.delays = workload::per_socket_delays(
+      10, 10, 5, 0, milliseconds(9.0), workload::MultiDelayMode::half_odd,
+      rng);
+  const auto result = run_wave_experiment(exp);
+
+  // Excess runtime still equals the *longest* delay (9 ms), not the sum.
+  const Duration makespan = result.trace.makespan() - SimTime::zero();
+  EXPECT_NEAR((makespan - ideal_runtime(exp, milliseconds(9.0))).ms(), 0.0,
+              1.0);
+
+  // The surviving half-amplitude residual of the long waves sweeps across
+  // the odd injector itself (rank 15), which therefore idles ~4.5 ms in
+  // total. Under *full* cancellation (equal delays) an injector never
+  // idles; under linear superposition it would idle ~9 ms.
+  const Duration wait_at_odd_injector =
+      result.trace.total(15, mpi::SegKind::wait);
+  EXPECT_GT(wait_at_odd_injector.ms(), 3.0);
+  EXPECT_LT(wait_at_odd_injector.ms(), 6.5);
+}
+
+TEST(WaveInteraction, RandomDelaysLongestSurvives) {
+  // Fig. 6(c): random delays; the longest wave survives until program end.
+  WaveExperiment exp = fig6_experiment();
+  Rng rng(99);
+  exp.delays = workload::per_socket_delays(
+      10, 10, 5, 0, milliseconds(9.0), workload::MultiDelayMode::random, rng);
+  const auto result = run_wave_experiment(exp);
+
+  Duration longest = Duration::zero();
+  for (const auto& d : exp.delays) longest = std::max(longest, d.duration);
+
+  const Duration makespan = result.trace.makespan() - SimTime::zero();
+  EXPECT_NEAR((makespan - ideal_runtime(exp, longest)).ms(), 0.0, 1.0);
+}
+
+TEST(WaveInteraction, CancellationIsNotLinearSuperposition) {
+  // Two waves passing through each other (linear superposition) would leave
+  // every rank idling for the *sum* of both delays; cancellation means the
+  // max governs. Inject two equal delays on a small ring and check.
+  workload::RingSpec ring;
+  ring.ranks = 20;
+  ring.direction = workload::Direction::bidirectional;
+  ring.boundary = workload::Boundary::periodic;
+  ring.msg_bytes = 16384;
+  ring.steps = 16;
+  ring.texec = milliseconds(3.0);
+  ring.noisy = false;
+
+  WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = cluster_for_ring(ring);
+  exp.delays = {workload::DelaySpec{2, 0, milliseconds(6.0)},
+                workload::DelaySpec{12, 0, milliseconds(6.0)}};
+  const auto result = run_wave_experiment(exp);
+
+  // Every rank's cumulative wave-idle stays ~ one delay; superposition
+  // would give ~12 ms on the ranks both waves cross.
+  for (int r = 0; r < ring.ranks; ++r)
+    EXPECT_LT(result.trace.total(r, mpi::SegKind::wait).ms(), 7.5)
+        << "rank " << r;
+  const Duration makespan = result.trace.makespan() - SimTime::zero();
+  EXPECT_NEAR((makespan - (ring.texec * ring.steps + milliseconds(6.0))).ms(),
+              0.0, 1.0);
+}
+
+}  // namespace
+}  // namespace iw::core

@@ -1,0 +1,153 @@
+// Integration: memory-bound workloads — the Fig. 1 / Fig. 2 physics of
+// saturation, desynchronization, and automatic overlap.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "core/runtime_model.hpp"
+#include "workload/lbm.hpp"
+#include "workload/stream_triad.hpp"
+
+namespace iw::core {
+namespace {
+
+ClusterConfig stream_cluster(int ranks, bool ppn1) {
+  ClusterConfig config;
+  config.topo = ppn1 ? net::TopologySpec::one_rank_per_node(ranks)
+                     : net::TopologySpec::packed(ranks, 10);
+  config.memory = MemorySystem{};  // 40 GB/s socket, 6.7 GB/s core
+  config.system_noise = noise::NoiseSpec::system("emmy-smt-on");
+  return config;
+}
+
+TEST(StreamScaling, SingleSocketMatchesBandwidthModel) {
+  // Fig. 1(b): up to one socket the simple bandwidth model works fine.
+  workload::StreamTriadSpec spec;
+  spec.ranks = 10;  // one socket
+  spec.steps = 20;
+  Cluster cluster(stream_cluster(10, false));
+  const auto trace = cluster.run(workload::build_stream_triad(spec));
+  const Duration cycle = measured_cycle(trace, 0, 5, 19);
+
+  const StreamModelParams model;
+  // Execution term: 1.2 GB / 40 GB/s = 30 ms; communication adds a few ms.
+  EXPECT_GT(cycle, stream_exec_time(model, 1));
+  EXPECT_LT(cycle, stream_exec_time(model, 1) + milliseconds(8.0));
+}
+
+TEST(StreamScaling, DesyncRaisesExecutionPerformanceAboveModel) {
+  // Fig. 1(a): the measured *execution-only* performance exceeds the
+  // linear-scaling model under strong scaling because desynchronized ranks
+  // see less bandwidth contention. Run 4 sockets (2 nodes).
+  // Desynchronization builds up diffusively, so give it a long horizon and
+  // measure the settled tail.
+  workload::StreamTriadSpec spec;
+  spec.ranks = 40;
+  spec.steps = 250;
+  Cluster cluster(stream_cluster(40, false));
+  const auto trace = cluster.run(workload::build_stream_triad(spec));
+
+  // Mean compute time per rank per step, over the settled tail.
+  double exec_ns = 0.0;
+  int count = 0;
+  for (int r = 0; r < 40; ++r)
+    for (const auto& seg : trace.segments(r))
+      if (seg.kind == mpi::SegKind::compute && seg.step >= 150) {
+        exec_ns += static_cast<double>(seg.duration().ns());
+        ++count;
+      }
+  const double mean_exec_ms = exec_ns / count / 1e6;
+
+  // Model: each rank moves 30 MB at bmem/10 = 4 GB/s -> 7.5 ms.
+  const double model_exec_ms = 30.0 / 4.0;
+  EXPECT_LT(mean_exec_ms, model_exec_ms)
+      << "desynchronization must create automatic overlap";
+  // But not faster than the core-bandwidth bound (30 MB at 6.7 GB/s).
+  EXPECT_GT(mean_exec_ms, 30.0 / 6.7 * 0.95);
+}
+
+TEST(StreamScaling, TotalPerformanceBelowModelAtScale) {
+  // Fig. 1(a): total measured performance falls short of the optimistic
+  // nonoverlapping model at larger socket counts (factor ~2 at 9 sockets).
+  workload::StreamTriadSpec spec;
+  spec.ranks = 60;  // 6 sockets, 3 nodes
+  spec.steps = 40;
+  Cluster cluster(stream_cluster(60, false));
+  const auto trace = cluster.run(workload::build_stream_triad(spec));
+  const Duration cycle = measured_cycle(trace, 0, 20, 39);
+  const double perf = performance_from_time(triad_flops_per_step(spec), cycle);
+
+  const StreamModelParams model;
+  const double model_perf = stream_performance(model, 6);
+  EXPECT_LT(perf, model_perf);
+  EXPECT_GT(perf, model_perf / 4.0);  // in the right ballpark though
+}
+
+TEST(StreamScaling, Ppn1MatchesModelClosely) {
+  // Fig. 1(c): with one process per node there is little contention and
+  // the model predicts the average performance well.
+  workload::StreamTriadSpec spec;
+  spec.ranks = 8;
+  spec.steps = 30;
+  Cluster cluster(stream_cluster(8, true));
+  const auto trace = cluster.run(workload::build_stream_triad(spec));
+  const Duration cycle = measured_cycle(trace, 0, 10, 29);
+
+  // Per rank: 150 MB at the core bandwidth 6.7 GB/s = 22.4 ms exec,
+  // plus 2 * 2 MB / 3 GB/s ~ 1.33 ms comm.
+  const double exec_ms = 1.2e9 / 8.0 / 6.7e9 * 1e3;
+  const double comm_ms = 2.0 * 2e6 / 3e9 * 1e3;
+  EXPECT_NEAR(cycle.ms(), exec_ms + comm_ms, 2.0);
+}
+
+TEST(LbmProxy, RunsAndShowsCommunicationShare) {
+  workload::LbmSpec spec;
+  spec.nx = 100;
+  spec.ny = 100;
+  spec.nz = 100;
+  spec.ranks = 20;
+  spec.steps = 30;
+  Cluster cluster(stream_cluster(20, false));
+  const auto trace = cluster.run(workload::build_lbm(spec));
+
+  // Communication share: total wait / total runtime in the settled phase.
+  double wait_ns = 0, total_ns = 0;
+  for (int r = 0; r < 20; ++r) {
+    wait_ns += static_cast<double>(trace.total(r, mpi::SegKind::wait).ns());
+    total_ns +=
+        static_cast<double>((trace.finish(r) - SimTime::zero()).ns());
+  }
+  const double share = wait_ns / total_ns;
+  EXPECT_GT(share, 0.02);
+  EXPECT_LT(share, 0.7);
+}
+
+TEST(LbmProxy, DesynchronizationEmergesOverTime) {
+  // Fig. 2: the spread of step positions across ranks grows from nearly
+  // zero to a visible fraction of a timestep as the run progresses.
+  workload::LbmSpec spec;
+  spec.nx = 100;
+  spec.ny = 100;
+  spec.nz = 100;
+  spec.ranks = 20;
+  spec.steps = 400;
+  Cluster cluster(stream_cluster(20, false));
+  const auto trace = cluster.run(workload::build_lbm(spec));
+
+  auto spread_at = [&](int step) {
+    SimTime lo = SimTime::max(), hi = SimTime::zero();
+    for (int r = 0; r < 20; ++r) {
+      const SimTime t = trace.step_begin(r)[static_cast<std::size_t>(step)];
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    return hi - lo;
+  };
+
+  const Duration early = spread_at(2);
+  const Duration late = spread_at(390);
+  EXPECT_GT(late, early);
+}
+
+}  // namespace
+}  // namespace iw::core

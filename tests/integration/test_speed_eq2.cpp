@@ -1,0 +1,150 @@
+// Integration: parameterized validation of Eq. 2 across the full mode/
+// distance/granularity grid (paper Sec. IV-C and Fig. 7).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include <sstream>
+#include "core/experiment.hpp"
+#include "core/speed_model.hpp"
+#include "workload/delay.hpp"
+
+namespace iw::core {
+namespace {
+
+using workload::Boundary;
+using workload::Direction;
+
+struct SpeedCase {
+  Direction direction;
+  std::int64_t msg_bytes;  // selects eager vs rendezvous
+  int distance;
+  double texec_ms;
+};
+
+class SpeedEq2 : public ::testing::TestWithParam<SpeedCase> {};
+
+TEST_P(SpeedEq2, MeasuredSpeedWithinThreePercentOfEq2) {
+  const SpeedCase param = GetParam();
+
+  workload::RingSpec ring;
+  ring.ranks = 24;
+  ring.direction = param.direction;
+  ring.boundary = Boundary::open;
+  ring.distance = param.distance;
+  ring.msg_bytes = param.msg_bytes;
+  ring.steps = 24;
+  ring.texec = milliseconds(param.texec_ms);
+  ring.noisy = false;
+
+  WaveExperiment exp;
+  exp.ring = ring;
+  exp.cluster = cluster_for_ring(ring);
+  // Delay long enough to survive the whole chain at every speed.
+  exp.delays = workload::single_delay(8, 0, milliseconds(6 * param.texec_ms));
+  exp.min_idle = milliseconds(param.texec_ms / 4.0);
+
+  const auto result = run_wave_experiment(exp);
+  ASSERT_GE(result.up.front_fit.n, 3u) << "wave did not propagate";
+  ASSERT_GT(result.up.speed_ranks_per_sec, 0.0);
+
+  // The sigma*d structure: speed in units of 1/cycle must equal sigma*d.
+  // For sigma*d > 1 the front is a staircase (sigma*d ranks share each
+  // arrival step), so the least-squares slope carries a granularity error
+  // of a few percent — scale the tolerance accordingly.
+  const int sigma = sigma_factor(param.direction, result.protocol);
+  const int hops_per_step = sigma * param.distance;
+  const double tol = 0.03 + 0.015 * (hops_per_step - 1);
+  EXPECT_NEAR(result.up.speed_ranks_per_sec / result.predicted_speed, 1.0,
+              tol);
+  const double hops_per_cycle =
+      result.up.speed_ranks_per_sec * result.measured_cycle.sec();
+  EXPECT_NEAR(hops_per_cycle, hops_per_step, tol * hops_per_step);
+}
+
+constexpr std::int64_t kSmall = 16384;
+constexpr std::int64_t kLarge = 174080;
+
+INSTANTIATE_TEST_SUITE_P(
+    ModeDistanceGrid, SpeedEq2,
+    ::testing::Values(
+        // d = 1, both protocols, both directions (Fig. 5 grid).
+        SpeedCase{Direction::unidirectional, kSmall, 1, 3.0},
+        SpeedCase{Direction::bidirectional, kSmall, 1, 3.0},
+        SpeedCase{Direction::unidirectional, kLarge, 1, 3.0},
+        SpeedCase{Direction::bidirectional, kLarge, 1, 3.0},
+        // d = 2: Fig. 7 (rendezvous uni vs bidi) plus eager cross-checks.
+        SpeedCase{Direction::unidirectional, kLarge, 2, 3.0},
+        SpeedCase{Direction::bidirectional, kLarge, 2, 3.0},
+        SpeedCase{Direction::unidirectional, kSmall, 2, 3.0},
+        SpeedCase{Direction::bidirectional, kSmall, 2, 3.0},
+        // d = 3 extends the model beyond the paper's figures.
+        SpeedCase{Direction::bidirectional, kLarge, 3, 3.0},
+        SpeedCase{Direction::unidirectional, kSmall, 3, 3.0},
+        // Different execution granularities.
+        SpeedCase{Direction::unidirectional, kSmall, 1, 1.0},
+        SpeedCase{Direction::bidirectional, kLarge, 1, 1.0},
+        SpeedCase{Direction::unidirectional, kSmall, 1, 10.0},
+        SpeedCase{Direction::bidirectional, kLarge, 2, 6.0}),
+    [](const ::testing::TestParamInfo<SpeedCase>& param_info) {
+      const auto& p = param_info.param;
+      std::ostringstream name;
+      name << (p.direction == Direction::unidirectional ? "uni" : "bidi")
+           << (p.msg_bytes > 131072 ? "Rdv" : "Eager") << "D" << p.distance
+           << "T" << static_cast<int>(p.texec_ms * 10);
+      return name.str();
+    });
+
+TEST(SpeedEq2Extras, Fig7DistanceTwoDoubling) {
+  // Fig. 7: with d = 2 rendezvous, bidirectional communication doubles the
+  // propagation speed over unidirectional.
+  auto make = [](Direction dir) {
+    workload::RingSpec ring;
+    ring.ranks = 24;
+    ring.direction = dir;
+    ring.boundary = Boundary::open;
+    ring.distance = 2;
+    ring.msg_bytes = 174080;
+    ring.steps = 20;
+    ring.texec = milliseconds(3.0);
+    ring.noisy = false;
+    WaveExperiment exp;
+    exp.ring = ring;
+    exp.cluster = cluster_for_ring(ring);
+    exp.delays = workload::single_delay(10, 0, milliseconds(18.0));
+    return run_wave_experiment(exp);
+  };
+  const auto uni = make(Direction::unidirectional);
+  const auto bidi = make(Direction::bidirectional);
+  ASSERT_GT(uni.up.speed_ranks_per_sec, 0.0);
+  EXPECT_NEAR(bidi.up.speed_ranks_per_sec / uni.up.speed_ranks_per_sec, 2.0,
+              0.1);
+  // And both directions of each case are symmetric.
+  EXPECT_NEAR(bidi.up.speed_ranks_per_sec / bidi.down.speed_ranks_per_sec,
+              1.0, 0.1);
+}
+
+TEST(SpeedEq2Extras, EqualFootingOfExecAndComm) {
+  // Eq. 2 treats Texec and Tcomm symmetrically: doubling Texec should slow
+  // the wave accordingly.
+  auto speed_at = [](double texec_ms) {
+    workload::RingSpec ring;
+    ring.ranks = 20;
+    ring.texec = milliseconds(texec_ms);
+    ring.steps = 24;
+    ring.noisy = false;
+    WaveExperiment exp;
+    exp.ring = ring;
+    exp.cluster = cluster_for_ring(ring);
+    exp.delays =
+        workload::single_delay(4, 0, milliseconds(5 * texec_ms));
+    exp.min_idle = milliseconds(texec_ms / 4.0);
+    return run_wave_experiment(exp).up.speed_ranks_per_sec;
+  };
+  const double v3 = speed_at(3.0);
+  const double v6 = speed_at(6.0);
+  EXPECT_NEAR(v3 / v6, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace iw::core

@@ -1,0 +1,119 @@
+// Tests for the processor-sharing bandwidth domain.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "memory/bandwidth_domain.hpp"
+
+namespace iw::memory {
+namespace {
+
+TEST(BandwidthDomain, SoloJobRunsAtCoreRate) {
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 40e9, 5e9);
+  SimTime done;
+  domain.submit(5'000'000, [&] { done = eng.now(); });  // 5 MB at 5 GB/s
+  eng.run();
+  EXPECT_EQ(done, SimTime::zero() + milliseconds(1.0));
+  EXPECT_EQ(domain.solo_time(5'000'000), milliseconds(1.0));
+}
+
+TEST(BandwidthDomain, BelowSaturationJobsDoNotInterfere) {
+  // 40 GB/s domain, 5 GB/s cores: up to 8 jobs scale perfectly.
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 40e9, 5e9);
+  std::vector<SimTime> done(4);
+  for (int i = 0; i < 4; ++i)
+    domain.submit(5'000'000, [&, i] { done[static_cast<std::size_t>(i)] = eng.now(); });
+  eng.run();
+  for (const auto t : done) EXPECT_EQ(t, SimTime::zero() + milliseconds(1.0));
+}
+
+TEST(BandwidthDomain, SaturationSharesBandwidth) {
+  // 10 GB/s domain, 10 GB/s cores: 2 jobs halve each other's rate.
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 10e9, 10e9);
+  std::vector<SimTime> done(2);
+  for (int i = 0; i < 2; ++i)
+    domain.submit(10'000'000, [&, i] { done[static_cast<std::size_t>(i)] = eng.now(); });
+  eng.run();
+  // 10 MB each at 5 GB/s effective = 2 ms.
+  EXPECT_EQ(done[0], SimTime::zero() + milliseconds(2.0));
+  EXPECT_EQ(done[1], SimTime::zero() + milliseconds(2.0));
+}
+
+TEST(BandwidthDomain, LateArrivalSlowsEarlierJob) {
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 10e9, 10e9);
+  SimTime done_a, done_b;
+  domain.submit(10'000'000, [&] { done_a = eng.now(); });
+  // Job B arrives at t = 0.5 ms, when A has 5 MB left.
+  eng.after(milliseconds(0.5), [&] {
+    domain.submit(5'000'000, [&] { done_b = eng.now(); });
+  });
+  eng.run();
+  // From 0.5 ms both run at 5 GB/s; both have 5 MB left -> 1 ms more.
+  EXPECT_EQ(done_a, SimTime::zero() + milliseconds(1.5));
+  EXPECT_EQ(done_b, SimTime::zero() + milliseconds(1.5));
+}
+
+TEST(BandwidthDomain, DepartureSpeedsUpSurvivor) {
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 10e9, 10e9);
+  SimTime done_small, done_big;
+  domain.submit(2'000'000, [&] { done_small = eng.now(); });
+  domain.submit(6'000'000, [&] { done_big = eng.now(); });
+  eng.run();
+  // Shared at 5 GB/s until the small job finishes at 0.4 ms (2 MB).
+  EXPECT_EQ(done_small, SimTime::zero() + milliseconds(0.4));
+  // Big job: 2 MB done at 0.4 ms, remaining 4 MB at full 10 GB/s = 0.4 ms.
+  EXPECT_EQ(done_big, SimTime::zero() + milliseconds(0.8));
+}
+
+TEST(BandwidthDomain, WorkConservation) {
+  // Total bytes / total time == domain bandwidth while saturated.
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 8e9, 8e9);
+  int remaining = 10;
+  for (int i = 0; i < 10; ++i)
+    domain.submit(8'000'000, [&] { --remaining; });
+  eng.run();
+  EXPECT_EQ(remaining, 0);
+  // 80 MB at 8 GB/s = 10 ms regardless of sharing details.
+  EXPECT_EQ(eng.now(), SimTime::zero() + milliseconds(10.0));
+}
+
+TEST(BandwidthDomain, ZeroByteJobCompletesImmediately) {
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 1e9, 1e9);
+  bool fired = false;
+  domain.submit(0, [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(eng.now(), SimTime::zero());
+}
+
+TEST(BandwidthDomain, ActiveJobsAndRates) {
+  sim::Engine eng;
+  BandwidthDomain domain(eng, 10e9, 6e9);
+  EXPECT_EQ(domain.active_jobs(), 0);
+  EXPECT_DOUBLE_EQ(domain.current_rate(), 6e9);  // idle: core rate
+  domain.submit(60'000'000, [] {});
+  EXPECT_EQ(domain.active_jobs(), 1);
+  EXPECT_DOUBLE_EQ(domain.current_rate(), 6e9);
+  domain.submit(60'000'000, [] {});
+  EXPECT_DOUBLE_EQ(domain.current_rate(), 5e9);  // 10/2
+  eng.run();
+  EXPECT_EQ(domain.active_jobs(), 0);
+}
+
+TEST(BandwidthDomain, RejectsBadParameters) {
+  sim::Engine eng;
+  EXPECT_THROW(BandwidthDomain(eng, 0.0, 1e9), std::invalid_argument);
+  EXPECT_THROW(BandwidthDomain(eng, 1e9, -1.0), std::invalid_argument);
+  BandwidthDomain domain(eng, 1e9, 1e9);
+  EXPECT_THROW(domain.submit(-1, [] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw::memory

@@ -1,0 +1,50 @@
+// Tests for the roofline helpers.
+#include <gtest/gtest.h>
+
+#include "memory/roofline.hpp"
+
+namespace iw::memory {
+namespace {
+
+TEST(Roofline, BandwidthBoundRegime) {
+  const RooflineParams p{100e9, 40e9};  // 100 GF/s, 40 GB/s
+  // Intensity 1 flop/byte: bandwidth-limited at 40 GF/s.
+  EXPECT_DOUBLE_EQ(attainable_flops(p, 1.0), 40e9);
+}
+
+TEST(Roofline, ComputeBoundRegime) {
+  const RooflineParams p{100e9, 40e9};
+  EXPECT_DOUBLE_EQ(attainable_flops(p, 10.0), 100e9);
+}
+
+TEST(Roofline, KneeAtMachineBalance) {
+  const RooflineParams p{100e9, 40e9};
+  EXPECT_DOUBLE_EQ(attainable_flops(p, 2.5), 100e9);  // knee
+  EXPECT_LT(attainable_flops(p, 2.4), 100e9);
+}
+
+TEST(Roofline, LoopTimeTakesTheMax) {
+  const RooflineParams p{100e9, 40e9};
+  // 40 MB, 1 Mflop: memory takes 1 ms, compute 10 us -> 1 ms.
+  EXPECT_EQ(loop_time(p, 40'000'000, 1'000'000), milliseconds(1.0));
+  // 4 KB, 1 Gflop: compute dominates at 10 ms.
+  EXPECT_EQ(loop_time(p, 4096, 1'000'000'000), milliseconds(10.0));
+}
+
+TEST(Roofline, StreamTriadMatchesPaperExpectation) {
+  // The paper's socket: 40 GB/s; triad on 5e7 elements over one socket
+  // moves 1.2 GB -> 30 ms per traversal.
+  const RooflineParams p{1e18, 40e9};
+  EXPECT_EQ(loop_time(p, 1'200'000'000, 100'000'000), milliseconds(30.0));
+}
+
+TEST(Roofline, RejectsInvalid) {
+  const RooflineParams p{100e9, 40e9};
+  EXPECT_THROW((void)attainable_flops(p, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)loop_time(p, -1, 0), std::invalid_argument);
+  EXPECT_THROW((void)attainable_flops(RooflineParams{0, 1}, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw::memory

@@ -1,0 +1,69 @@
+// Tests for the rank-program builder.
+#include <gtest/gtest.h>
+
+#include "mpi/program.hpp"
+
+namespace iw::mpi {
+namespace {
+
+TEST(Program, BuilderAppendsInOrder) {
+  Program p;
+  p.mark(0).compute(milliseconds(3.0)).isend(1, 8192, 0).irecv(2, 8192, 0)
+      .waitall();
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_TRUE(std::holds_alternative<OpMark>(p.ops()[0]));
+  EXPECT_TRUE(std::holds_alternative<OpCompute>(p.ops()[1]));
+  EXPECT_TRUE(std::holds_alternative<OpIsend>(p.ops()[2]));
+  EXPECT_TRUE(std::holds_alternative<OpIrecv>(p.ops()[3]));
+  EXPECT_TRUE(std::holds_alternative<OpWaitAll>(p.ops()[4]));
+}
+
+TEST(Program, TotalInjectedSums) {
+  Program p;
+  p.inject(milliseconds(2.0)).compute(milliseconds(1.0))
+      .inject(milliseconds(3.5));
+  EXPECT_EQ(p.total_injected(), milliseconds(5.5));
+}
+
+TEST(Program, RoundsCountsWaitalls) {
+  Program p;
+  for (int i = 0; i < 7; ++i)
+    p.compute(milliseconds(1.0)).isend(0, 1, i).waitall();
+  EXPECT_EQ(p.rounds(), 7);
+}
+
+TEST(Program, EmptyProgram) {
+  const Program p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.rounds(), 0);
+  EXPECT_EQ(p.total_injected(), Duration::zero());
+}
+
+TEST(Program, OpFieldsPreserved) {
+  Program p;
+  p.isend(3, 16384, 5);
+  const auto& send = std::get<OpIsend>(p.ops()[0]);
+  EXPECT_EQ(send.peer, 3);
+  EXPECT_EQ(send.bytes, 16384);
+  EXPECT_EQ(send.tag, 5);
+}
+
+TEST(Program, MemWorkStoresBytes) {
+  Program p;
+  p.mem_work(1'000'000, false);
+  const auto& work = std::get<OpMemWork>(p.ops()[0]);
+  EXPECT_EQ(work.bytes, 1'000'000);
+  EXPECT_FALSE(work.noisy);
+}
+
+TEST(Program, RejectsInvalidArguments) {
+  Program p;
+  EXPECT_THROW(p.compute(Duration{-1}), std::invalid_argument);
+  EXPECT_THROW(p.inject(Duration{-1}), std::invalid_argument);
+  EXPECT_THROW(p.isend(-1, 10, 0), std::invalid_argument);
+  EXPECT_THROW(p.irecv(0, -10, 0), std::invalid_argument);
+  EXPECT_THROW(p.mem_work(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw::mpi

@@ -1,0 +1,73 @@
+// Tests for trace recording and queries.
+#include <gtest/gtest.h>
+
+#include "mpi/trace.hpp"
+
+namespace iw::mpi {
+namespace {
+
+Segment seg(SegKind kind, std::int64_t b, std::int64_t e, std::int32_t step = 0) {
+  return Segment{kind, SimTime{b}, SimTime{e}, step, Duration::zero()};
+}
+
+TEST(Trace, RecordsSegmentsPerRank) {
+  Trace t(3);
+  t.add_segment(0, seg(SegKind::compute, 0, 10));
+  t.add_segment(0, seg(SegKind::wait, 10, 15));
+  t.add_segment(2, seg(SegKind::injected, 0, 100));
+  EXPECT_EQ(t.segments(0).size(), 2u);
+  EXPECT_EQ(t.segments(1).size(), 0u);
+  EXPECT_EQ(t.segments(2).size(), 1u);
+  EXPECT_EQ(t.ranks(), 3);
+}
+
+TEST(Trace, TotalsByKind) {
+  Trace t(1);
+  t.add_segment(0, seg(SegKind::compute, 0, 10));
+  t.add_segment(0, seg(SegKind::wait, 10, 15));
+  t.add_segment(0, seg(SegKind::compute, 15, 30));
+  EXPECT_EQ(t.total(0, SegKind::compute), Duration{25});
+  EXPECT_EQ(t.total(0, SegKind::wait), Duration{5});
+  EXPECT_EQ(t.total(0, SegKind::injected), Duration::zero());
+}
+
+TEST(Trace, StepMarksMustBeConsecutive) {
+  Trace t(1);
+  t.mark_step(0, 0, SimTime{0});
+  t.mark_step(0, 1, SimTime{10});
+  EXPECT_EQ(t.step_begin(0).size(), 2u);
+  EXPECT_EQ(t.step_begin(0)[1], SimTime{10});
+  EXPECT_THROW(t.mark_step(0, 5, SimTime{20}), std::logic_error);
+}
+
+TEST(Trace, FinishAndMakespan) {
+  Trace t(2);
+  t.set_finish(0, SimTime{100});
+  t.set_finish(1, SimTime{250});
+  EXPECT_EQ(t.finish(0), SimTime{100});
+  EXPECT_EQ(t.makespan(), SimTime{250});
+}
+
+TEST(Trace, SegmentDurationHelper) {
+  const Segment s = seg(SegKind::wait, 5, 25);
+  EXPECT_EQ(s.duration(), Duration{20});
+}
+
+TEST(Trace, RejectsBadInput) {
+  EXPECT_THROW(Trace{0}, std::invalid_argument);
+  Trace t(1);
+  EXPECT_THROW(t.add_segment(1, seg(SegKind::compute, 0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(t.add_segment(0, seg(SegKind::compute, 10, 5)),
+               std::logic_error);
+  EXPECT_THROW((void)t.segments(-1), std::invalid_argument);
+}
+
+TEST(Trace, SegKindNames) {
+  EXPECT_STREQ(to_string(SegKind::compute), "compute");
+  EXPECT_STREQ(to_string(SegKind::injected), "injected");
+  EXPECT_STREQ(to_string(SegKind::wait), "wait");
+}
+
+}  // namespace
+}  // namespace iw::mpi

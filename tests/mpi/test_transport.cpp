@@ -1,0 +1,329 @@
+// Tests for the eager/rendezvous transport: matching, protocol selection,
+// completion timing, the deferred-push rule, and the finite-buffer fallback.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mpi/transport.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace iw::mpi {
+namespace {
+
+/// Harness: N ranks, 1 per node, recording completion times per (rank, req).
+class TransportFixture {
+ public:
+  explicit TransportFixture(int ranks,
+                            Transport::Options options = {},
+                            net::FabricProfile fabric =
+                                net::FabricProfile::ideal(microseconds(1.0),
+                                                          1e9))
+      : topo_(net::TopologySpec::one_rank_per_node(ranks)),
+        fabric_(std::move(fabric)),
+        transport_(engine_, topo_, fabric_, options) {
+    transport_.set_completion_handler([this](int rank, RequestId req) {
+      completions_[{rank, req}] = engine_.now();
+    });
+  }
+
+  [[nodiscard]] bool completed(int rank, RequestId req) const {
+    return completions_.count({rank, req}) > 0;
+  }
+  [[nodiscard]] SimTime completion_time(int rank, RequestId req) const {
+    return completions_.at({rank, req});
+  }
+
+  sim::Engine engine_;
+  net::Topology topo_;
+  net::FabricProfile fabric_;
+  Transport transport_;
+  std::map<std::pair<int, RequestId>, SimTime> completions_;
+};
+
+TEST(Transport, EagerSenderCompletesLocally) {
+  TransportFixture f(2);
+  // No receive posted: the eager sender must still complete (buffering).
+  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_FALSE(f.completed(1, 0));
+  EXPECT_EQ(f.transport_.stats().eager_sends, 1u);
+  EXPECT_EQ(f.transport_.stats().unexpected_eager, 1u);
+}
+
+TEST(Transport, EagerRecvFirstThenSend) {
+  TransportFixture f(2);
+  f.transport_.post_recv(1, 0, 7, 1000, 3);
+  f.transport_.post_send(0, 1, 7, 1000, 5);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(1, 3));
+  EXPECT_TRUE(f.completed(0, 5));
+}
+
+TEST(Transport, EagerSendFirstThenRecvMatchesUnexpected) {
+  TransportFixture f(2);
+  f.transport_.post_send(0, 1, 7, 1000, 0);
+  f.engine_.run();
+  EXPECT_FALSE(f.completed(1, 9));
+  f.transport_.post_recv(1, 0, 7, 1000, 9);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(1, 9));
+}
+
+TEST(Transport, EagerRecvTimingMatchesModel) {
+  // ideal fabric: latency 1 us, 1 GB/s, zero overhead/gap.
+  TransportFixture f(2);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();
+  // arrival = 1 us latency + 1000 B / 1 GB/s = 1 us -> 2 us total.
+  EXPECT_EQ(f.completion_time(1, 0), SimTime{2000});
+  EXPECT_EQ(f.transport_.eager_transfer_time(0, 1, 1000), Duration{2000});
+}
+
+TEST(Transport, TagsDiscriminate) {
+  TransportFixture f(2);
+  f.transport_.post_recv(1, 0, /*tag=*/1, 100, 0);
+  f.transport_.post_send(0, 1, /*tag=*/2, 100, 0);
+  f.engine_.run();
+  EXPECT_FALSE(f.completed(1, 0));  // tag mismatch: stays unexpected
+  f.transport_.post_recv(1, 0, /*tag=*/2, 100, 1);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(1, 1));
+}
+
+TEST(Transport, SourcesDiscriminate) {
+  TransportFixture f(3);
+  f.transport_.post_recv(2, /*src=*/1, 0, 100, 0);
+  f.transport_.post_send(0, 2, 0, 100, 0);  // from rank 0: no match
+  f.engine_.run();
+  EXPECT_FALSE(f.completed(2, 0));
+  f.transport_.post_send(1, 2, 0, 100, 0);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(2, 0));
+}
+
+TEST(Transport, FifoMatchingPerSource) {
+  TransportFixture f(2);
+  // Two sends same (src, tag); two recvs: first recv gets first message.
+  f.transport_.post_recv(1, 0, 0, 100, 0);
+  f.transport_.post_recv(1, 0, 0, 100, 1);
+  f.transport_.post_send(0, 1, 0, 100, 0);
+  f.transport_.post_send(0, 1, 0, 100, 1);
+  f.engine_.run();
+  ASSERT_TRUE(f.completed(1, 0));
+  ASSERT_TRUE(f.completed(1, 1));
+  EXPECT_LE(f.completion_time(1, 0), f.completion_time(1, 1));
+}
+
+TEST(Transport, ProtocolSelectionByEagerLimit) {
+  TransportFixture f(2);
+  const std::int64_t limit = f.transport_.eager_limit();
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, limit), WireProtocol::eager);
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, limit + 1),
+            WireProtocol::rendezvous);
+}
+
+TEST(Transport, EagerLimitOverride) {
+  Transport::Options opt;
+  opt.eager_limit_override = 1000;
+  TransportFixture f(2, opt);
+  EXPECT_EQ(f.transport_.eager_limit(), 1000);
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1001), WireProtocol::rendezvous);
+}
+
+TEST(Transport, RendezvousWaitsForReceiver) {
+  Transport::Options opt;
+  opt.eager_limit_override = 0;  // force rendezvous for every size
+  TransportFixture f(2, opt);
+  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();
+  // No receive posted: the sender must NOT complete.
+  EXPECT_FALSE(f.completed(0, 0));
+  EXPECT_EQ(f.transport_.stats().unexpected_rts, 1u);
+
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_EQ(f.transport_.stats().rendezvous_sends, 1u);
+}
+
+TEST(Transport, RendezvousTimingIncludesHandshake) {
+  Transport::Options opt;
+  opt.eager_limit_override = 0;
+  TransportFixture f(2, opt);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();
+  // RTS 1 us + CTS 1 us + data (1 us latency + 1 us transfer) = 4 us.
+  EXPECT_EQ(f.completion_time(1, 0), SimTime{4000});
+  EXPECT_EQ(f.transport_.rendezvous_transfer_time(0, 1, 1000),
+            Duration{4000});
+  // Sender completes when the payload is injected (before the latency).
+  EXPECT_EQ(f.completion_time(0, 0), SimTime{3000});
+}
+
+TEST(Transport, DeferredPushHoldsDataWhileHandshakeOutstanding) {
+  Transport::Options opt;
+  opt.eager_limit_override = 0;
+  TransportFixture f(3, opt);
+  // Rank 0 sends to 1 (recv posted) and to 2 (no recv posted -> handshake
+  // stuck). Under deferred_push the completed handshake to 1 must NOT push.
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.transport_.post_send(0, 2, 0, 1000, 1);
+  f.engine_.run();
+  EXPECT_FALSE(f.completed(1, 0));
+  EXPECT_FALSE(f.completed(0, 0));
+  EXPECT_GE(f.transport_.stats().deferred_pushes, 1u);
+
+  // Unsticking the second handshake releases everything.
+  f.transport_.post_recv(2, 0, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_TRUE(f.completed(2, 0));
+  EXPECT_TRUE(f.completed(0, 1));
+}
+
+TEST(Transport, IndependentPushesImmediately) {
+  Transport::Options opt;
+  opt.eager_limit_override = 0;
+  opt.pipelining = RendezvousPipelining::independent;
+  TransportFixture f(3, opt);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.transport_.post_send(0, 2, 0, 1000, 1);  // stuck, but must not block 0->1
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_EQ(f.transport_.stats().deferred_pushes, 0u);
+}
+
+TEST(Transport, FiniteEagerBufferFallsBackToRendezvous) {
+  Transport::Options opt;
+  opt.eager_buffer_capacity = 1500;
+  TransportFixture f(2, opt);
+  // First send fits; second would exceed the backlog cap while the first
+  // is still unmatched -> rendezvous fallback.
+  f.transport_.post_send(0, 1, 0, 1000, 0);
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::rendezvous);
+  f.transport_.post_send(0, 1, 0, 1000, 1);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_FALSE(f.completed(0, 1));  // rendezvous: waits for the receiver
+  EXPECT_EQ(f.transport_.stats().eager_fallbacks, 1u);
+
+  // Draining the backlog restores eager behaviour.
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.transport_.post_recv(1, 0, 0, 1000, 1);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 1));
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::eager);
+}
+
+TEST(Transport, NicGapSerializesInjections) {
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
+  for (auto& p : fabric.link) p.gap = microseconds(5.0);
+  TransportFixture f(3, {}, fabric);
+  f.transport_.post_recv(1, 0, 0, 0, 0);
+  f.transport_.post_recv(2, 0, 0, 0, 0);
+  f.transport_.post_send(0, 1, 0, 0, 0);
+  f.transport_.post_send(0, 2, 0, 0, 1);
+  f.engine_.run();
+  // First message: gap 5 + latency 1 = 6 us. Second queues behind on the
+  // sender NIC: 10 + 1 = 11 us.
+  EXPECT_EQ(f.completion_time(1, 0), SimTime{6000});
+  EXPECT_EQ(f.completion_time(2, 0), SimTime{11000});
+}
+
+TEST(Transport, SelfSendRejected) {
+  TransportFixture f(2);
+  EXPECT_THROW((void)f.transport_.post_send(0, 0, 0, 10, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)f.transport_.post_recv(1, 1, 0, 10, 0),
+               std::invalid_argument);
+}
+
+TEST(Transport, InterNodeSlowerThanIntraSocket) {
+  // Packed topology: ranks 0,1 share a socket; 0,25 are on distinct nodes.
+  sim::Engine engine;
+  net::Topology topo(net::TopologySpec::packed(40));
+  const net::FabricProfile fabric = net::FabricProfile::infiniband_qdr();
+  Transport tr(engine, topo, fabric, {});
+  const Duration near = tr.eager_transfer_time(0, 1, 8192);
+  const Duration far = tr.eager_transfer_time(0, 25, 8192);
+  EXPECT_LT(near, far);
+}
+
+
+TEST(Transport, IntraNodePayloadChargesMemoryDomains) {
+  // With memory domains configured, an intra-socket message is two memory
+  // copies: 10 MB at 10 GB/s twice = 2 ms, plus latency — far slower than
+  // the NIC-path estimate when the bus is the bottleneck.
+  sim::Engine engine;
+  net::Topology topo(net::TopologySpec::packed(4, 2));  // 2 ranks/socket
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e12);
+  Transport tr(engine, topo, fabric, {});
+  memory::BandwidthDomain domain(engine, 10e9, 10e9);
+  tr.set_memory_domains([&](int) { return &domain; });
+  SimTime recv_done;
+  tr.set_completion_handler([&](int rank, RequestId req) {
+    if (rank == 1 && req == 0) recv_done = engine.now();
+  });
+  tr.post_recv(1, 0, 0, 10'000'000, 0);
+  tr.post_send(0, 1, 0, 10'000'000, 0);
+  engine.run();
+  // 10 MB goes rendezvous: RTS (1 us) + CTS (1 us), then two sequential
+  // 1 ms copies + 1 us payload latency.
+  EXPECT_EQ(recv_done, SimTime::zero() + milliseconds(2.0) + microseconds(3.0));
+}
+
+TEST(Transport, InterNodePayloadKeepsNicPath) {
+  // Memory domains must not affect cross-node traffic.
+  sim::Engine engine;
+  net::Topology topo(net::TopologySpec::one_rank_per_node(2));
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
+  Transport tr(engine, topo, fabric, {});
+  memory::BandwidthDomain domain(engine, 10e9, 10e9);
+  tr.set_memory_domains([&](int) { return &domain; });
+  SimTime recv_done;
+  tr.set_completion_handler([&](int rank, RequestId req) {
+    if (rank == 1 && req == 0) recv_done = engine.now();
+  });
+  tr.post_recv(1, 0, 0, 1000, 0);
+  tr.post_send(0, 1, 0, 1000, 0);
+  engine.run();
+  EXPECT_EQ(recv_done, SimTime{2000});  // 1 us latency + 1 us transfer
+  EXPECT_EQ(domain.active_jobs(), 0);
+}
+
+TEST(Transport, MemoryPathCopiesContendWithComputeJobs) {
+  // A message copy sharing the domain with a compute job slows both:
+  // processor sharing at 5 GB/s each.
+  sim::Engine engine;
+  net::Topology topo(net::TopologySpec::packed(4, 2));
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(0.0), 1e12);
+  Transport tr(engine, topo, fabric, {});
+  memory::BandwidthDomain domain(engine, 10e9, 10e9);
+  tr.set_memory_domains([&](int) { return &domain; });
+  SimTime compute_done, recv_done;
+  tr.set_completion_handler([&](int rank, RequestId req) {
+    if (rank == 1 && req == 0) recv_done = engine.now();
+  });
+  domain.submit(10'000'000, [&] { compute_done = engine.now(); });
+  tr.post_recv(1, 0, 0, 10'000'000, 0);
+  tr.post_send(0, 1, 0, 10'000'000, 0);
+  engine.run();
+  // Copy 1 and the compute job share: both 10 MB at 5 GB/s -> done at 2 ms.
+  EXPECT_EQ(compute_done, SimTime::zero() + milliseconds(2.0));
+  // Copy 2 then runs alone: 1 ms more.
+  EXPECT_EQ(recv_done, SimTime::zero() + milliseconds(3.0));
+}
+
+}  // namespace
+}  // namespace iw::mpi

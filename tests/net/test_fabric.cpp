@@ -1,0 +1,71 @@
+// Tests for link cost parameters and fabric profiles.
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+
+namespace iw::net {
+namespace {
+
+TEST(LinkParams, HockneyTransferTime) {
+  LinkParams p;
+  p.latency = microseconds(2.0);
+  p.bandwidth_Bps = 1e9;  // 1 GB/s: 1 byte per ns
+  EXPECT_EQ(p.transfer_time(0).ns(), 2000);
+  EXPECT_EQ(p.transfer_time(1000).ns(), 3000);
+  EXPECT_EQ(p.control_time().ns(), 2000);
+}
+
+TEST(LinkParams, TransferTimeRejectsNegativeSize) {
+  LinkParams p;
+  p.latency = microseconds(1.0);
+  p.bandwidth_Bps = 1e9;
+  EXPECT_THROW((void)p.transfer_time(-1), std::invalid_argument);
+}
+
+TEST(FabricProfile, InfinibandMatchesPaperParameters) {
+  const FabricProfile f = FabricProfile::infiniband_qdr();
+  // Asymptotic internode bandwidth ~3 GB/s (the paper's bnet).
+  EXPECT_DOUBLE_EQ(f.params(LinkClass::inter_node).bandwidth_Bps, 3.0e9);
+  // Eager limit: 16384 doubles = 131072 B.
+  EXPECT_EQ(f.eager_limit_bytes, 131072);
+  // Hierarchy: intra-socket beats inter-socket beats inter-node on latency.
+  EXPECT_LT(f.params(LinkClass::intra_socket).latency,
+            f.params(LinkClass::inter_socket).latency);
+  EXPECT_LT(f.params(LinkClass::inter_socket).latency,
+            f.params(LinkClass::inter_node).latency);
+}
+
+TEST(FabricProfile, OmnipathFasterLinkHigherOverhead) {
+  const FabricProfile ib = FabricProfile::infiniband_qdr();
+  const FabricProfile opa = FabricProfile::omnipath();
+  EXPECT_GT(opa.params(LinkClass::inter_node).bandwidth_Bps,
+            ib.params(LinkClass::inter_node).bandwidth_Bps);
+  // The CPU-hungry Omni-Path driver shows up as per-message overhead.
+  EXPECT_GT(opa.params(LinkClass::inter_node).overhead,
+            ib.params(LinkClass::inter_node).overhead);
+}
+
+TEST(FabricProfile, IdealIsHomogeneous) {
+  const FabricProfile f = FabricProfile::ideal(microseconds(1.0), 5e9);
+  for (int c = 0; c < kLinkClassCount; ++c) {
+    const auto& p = f.link[static_cast<std::size_t>(c)];
+    EXPECT_EQ(p.latency, microseconds(1.0));
+    EXPECT_DOUBLE_EQ(p.bandwidth_Bps, 5e9);
+    EXPECT_EQ(p.overhead, Duration::zero());
+    EXPECT_EQ(p.gap, Duration::zero());
+  }
+}
+
+TEST(FabricProfile, MessageTimeOrderingAcrossClasses) {
+  // A fixed-size message must be fastest intra-socket and slowest
+  // inter-node on both real profiles.
+  for (const auto& f :
+       {FabricProfile::infiniband_qdr(), FabricProfile::omnipath()}) {
+    const std::int64_t bytes = 8192;
+    EXPECT_LT(f.params(LinkClass::intra_socket).transfer_time(bytes),
+              f.params(LinkClass::inter_node).transfer_time(bytes));
+  }
+}
+
+}  // namespace
+}  // namespace iw::net

@@ -1,0 +1,96 @@
+// Tests for the calibrated cluster noise profiles (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "noise/system_profiles.hpp"
+#include "support/histogram.hpp"
+#include "support/stats.hpp"
+
+namespace iw::noise {
+namespace {
+
+std::vector<double> sample_us(const NoiseModel& model, int n, Rng rng) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(model.sample(rng).us());
+  return out;
+}
+
+TEST(SystemProfiles, EmmySmtOnMatchesPaperStatistics) {
+  const auto model = emmy_smt_on();
+  const auto s = summarize(sample_us(*model, 330000, Rng(1)));
+  EXPECT_NEAR(s.mean, 2.4, 0.1);   // paper: average 2.4 us
+  EXPECT_LT(s.max, 60.0);          // paper: max below ~30 us
+}
+
+TEST(SystemProfiles, MeggieSmtOnMatchesPaperStatistics) {
+  const auto model = meggie_smt_on();
+  const auto s = summarize(sample_us(*model, 330000, Rng(2)));
+  EXPECT_NEAR(s.mean, 2.8, 0.1);   // paper: average 2.8 us
+}
+
+TEST(SystemProfiles, MeggieSmtOffIsBimodalWithDriverPeak) {
+  const auto model = meggie_smt_off();
+  // Histogram with the paper's 7.2 us bins over 0..800 us.
+  Histogram h(0.0, 800.0, 111);
+  Rng rng(3);
+  for (int i = 0; i < 330000; ++i) h.add(model->sample(rng).us());
+  // Main mode near zero.
+  EXPECT_LT(h.bin_center(h.mode_bin()), 20.0);
+  // Distinct second mode near 660 us: the driver peak bin must clearly
+  // dominate its mid-range neighborhood.
+  std::size_t peak_bin = 0;
+  std::size_t peak_count = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    if (h.bin_center(b) > 400.0 && h.count(b) > peak_count) {
+      peak_count = h.count(b);
+      peak_bin = b;
+    }
+  }
+  EXPECT_NEAR(h.bin_center(peak_bin), 660.0, 30.0);
+  EXPECT_GT(peak_count, 100u);
+  // Valley between the modes: mid-range (~300 us) nearly empty.
+  std::size_t valley = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b)
+    if (h.bin_center(b) > 250.0 && h.bin_center(b) < 350.0)
+      valley += h.count(b);
+  EXPECT_LT(valley, peak_count / 5);
+}
+
+TEST(SystemProfiles, SmtOffCoarserThanSmtOn) {
+  // The damping effect of SMT (paper citing Leon et al.): disabling SMT
+  // makes noise coarser on both systems.
+  const auto emmy_on = summarize(sample_us(*emmy_smt_on(), 50000, Rng(4)));
+  const auto emmy_off = summarize(sample_us(*emmy_smt_off(), 50000, Rng(5)));
+  EXPECT_GT(emmy_off.mean, emmy_on.mean);
+  const auto meggie_on = summarize(sample_us(*meggie_smt_on(), 50000, Rng(6)));
+  const auto meggie_off =
+      summarize(sample_us(*meggie_smt_off(), 50000, Rng(7)));
+  EXPECT_GT(meggie_off.mean, meggie_on.mean);
+}
+
+TEST(NoiseSpec, BuildsConfiguredKinds) {
+  Rng rng(1);
+  EXPECT_EQ(NoiseSpec::none().build()->sample(rng), Duration::zero());
+  EXPECT_NEAR(NoiseSpec::exponential(milliseconds(1.0)).build()->mean().ms(),
+              1.0, 1e-9);
+  EXPECT_EQ(NoiseSpec::uniform(microseconds(1.0), microseconds(3.0))
+                .build()
+                ->mean(),
+            microseconds(2.0));
+  const auto gamma_model = NoiseSpec::gamma(4.0, microseconds(8.0)).build();
+  EXPECT_EQ(gamma_model->mean(), microseconds(8.0));
+}
+
+TEST(NoiseSpec, SystemNamesResolve) {
+  EXPECT_EQ(NoiseSpec::system("emmy-smt-on").kind,
+            NoiseSpec::Kind::emmy_smt_on);
+  EXPECT_EQ(NoiseSpec::system("meggie-smt-off").kind,
+            NoiseSpec::Kind::meggie_smt_off);
+  EXPECT_THROW((void)NoiseSpec::system("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw::noise

@@ -1,0 +1,64 @@
+// Tests for the deterministic event calendar.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/calendar.hpp"
+
+namespace iw::sim {
+namespace {
+
+TEST(Calendar, PopsInTimeOrder) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.schedule(SimTime{30}, [&] { order.push_back(3); });
+  cal.schedule(SimTime{10}, [&] { order.push_back(1); });
+  cal.schedule(SimTime{20}, [&] { order.push_back(2); });
+  while (!cal.empty()) cal.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Calendar, TiesBreakByScheduleOrder) {
+  Calendar cal;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i)
+    cal.schedule(SimTime{100}, [&order, i] { order.push_back(i); });
+  while (!cal.empty()) cal.pop().fn();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Calendar, MixedTiesAndTimes) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.schedule(SimTime{5}, [&] { order.push_back(10); });
+  cal.schedule(SimTime{5}, [&] { order.push_back(11); });
+  cal.schedule(SimTime{1}, [&] { order.push_back(0); });
+  cal.schedule(SimTime{5}, [&] { order.push_back(12); });
+  while (!cal.empty()) cal.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 11, 12}));
+}
+
+TEST(Calendar, NextTimeReportsEarliest) {
+  Calendar cal;
+  cal.schedule(SimTime{42}, [] {});
+  cal.schedule(SimTime{7}, [] {});
+  EXPECT_EQ(cal.next_time(), SimTime{7});
+  EXPECT_EQ(cal.size(), 2u);
+}
+
+TEST(Calendar, EmptyAccessorsThrow) {
+  Calendar cal;
+  EXPECT_TRUE(cal.empty());
+  EXPECT_THROW((void)cal.next_time(), std::invalid_argument);
+  EXPECT_THROW((void)cal.pop(), std::invalid_argument);
+}
+
+TEST(Calendar, SequenceNumbersIncrease) {
+  Calendar cal;
+  const auto s1 = cal.schedule(SimTime{1}, [] {});
+  const auto s2 = cal.schedule(SimTime{1}, [] {});
+  EXPECT_LT(s1, s2);
+}
+
+}  // namespace
+}  // namespace iw::sim

@@ -1,0 +1,86 @@
+// Tests for the fixed-bin histogram.
+#include <gtest/gtest.h>
+
+#include "support/histogram.hpp"
+#include "support/rng.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 2.75);
+  EXPECT_EQ(h.bins(), 4u);
+}
+
+TEST(Histogram, UnderflowOverflowTracked) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, FractionsNormalizeOverInRange) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.fraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, ModeBinFindsPeak) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.1);
+  h.add(1.1);
+  h.add(1.2);
+  h.add(2.9);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, ExponentialSamplePeaksInFirstBin) {
+  // The paper's Fig. 3 histograms are built from noise samples; an
+  // exponential body must put the mode in the lowest bin.
+  Histogram h(0.0, 30.0, 47);  // ~0.64 us bins over 30 us, as in the paper
+  Rng rng(2024);
+  for (int i = 0; i < 100000; ++i) h.add(rng.exponential(2.4));
+  EXPECT_EQ(h.mode_bin(), 0u);
+  EXPECT_GT(h.fraction(0), 0.2);
+}
+
+TEST(Histogram, RenderSkipsEmptyBinsAndScalesBars) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(2.5);
+  const std::string art = h.render(10, true);
+  // Two populated bins -> two lines.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // full-size bar
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw

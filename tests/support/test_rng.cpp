@@ -1,0 +1,132 @@
+// Tests for deterministic random number generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamsAreIndependentAcrossRanksAndPurposes) {
+  Rng r0 = Rng::for_stream(7, 0, 0);
+  Rng r1 = Rng::for_stream(7, 1, 0);
+  Rng r0p1 = Rng::for_stream(7, 0, 1);
+  const auto a = r0.next_u64();
+  const auto b = r1.next_u64();
+  const auto c = r0p1.next_u64();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  // Same triple reproduces.
+  Rng again = Rng::for_stream(7, 0, 0);
+  EXPECT_EQ(again.next_u64(), a);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformBelowIsInRangeAndCoversValues) {
+  Rng rng(17);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i)
+    ++seen[static_cast<std::size_t>(rng.uniform_below(10))];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 each
+}
+
+TEST(Rng, ExponentialMatchesMeanAndVariance) {
+  Rng rng(321);
+  const double mean = 2.4;
+  std::vector<double> samples;
+  samples.reserve(200000);
+  for (int i = 0; i < 200000; ++i) samples.push_back(rng.exponential(mean));
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, mean, 0.03);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev, mean, 0.05);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(Rng, ExponentialZeroMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+}
+
+TEST(Rng, GammaMatchesMeanAndShape) {
+  Rng rng(555);
+  const double shape = 4.0, mean = 10.0;
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.gamma(shape, mean));
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, mean, 0.15);
+  // Gamma: var = mean^2 / shape -> stddev = mean/sqrt(shape) = 5.
+  EXPECT_NEAR(s.stddev, mean / std::sqrt(shape), 0.15);
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+  Rng rng(556);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.gamma(0.5, 3.0));
+  EXPECT_NEAR(mean(samples), 3.0, 0.15);
+}
+
+TEST(Rng, NormalIsStandard) {
+  Rng rng(777);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.normal());
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, 0.0, 0.02);
+  EXPECT_NEAR(s.stddev, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialDurationRoundsToNs) {
+  Rng rng(9);
+  const Duration mean = microseconds(10.0);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    acc += static_cast<double>(rng.exponential_duration(mean).ns());
+  EXPECT_NEAR(acc / n, 10000.0, 150.0);
+}
+
+TEST(Rng, RejectsInvalidArguments) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_below(0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform(3.0, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,120 @@
+// Tests for descriptive statistics and line fitting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Stats, MeanMedianOfKnownData) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 10.0};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, MedianEvenCountAveragesCenter) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, EmptyInputYieldsZeros) {
+  const std::vector<double> v;
+  EXPECT_DOUBLE_EQ(mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(median(v), 0.0);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> v{42.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Stats, SummaryStddevSampleDenominator) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sqrt(32/7)
+}
+
+TEST(Stats, PercentileRejectsOutOfRange) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(LineFit, ExactLineRecovered) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const LineFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 2.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 1.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+  EXPECT_EQ(fit.n, 4u);
+}
+
+TEST(LineFit, NegativeSlope) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{10.0, 8.0, 6.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, -2.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 10.0);
+}
+
+TEST(LineFit, NoisyDataReducesR2) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{2.0, 1.0, 4.0, 3.0, 6.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_GT(fit.r2, 0.0);
+}
+
+TEST(LineFit, DegenerateInputsYieldZeroFit) {
+  EXPECT_EQ(fit_line({}, {}).n, 0u);
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(fit_line(one, one).slope, 0.0);
+  // Constant x (vertical line): no defined slope.
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(fit_line(x, y).slope, 0.0);
+}
+
+TEST(LineFit, ConstantYPerfectFit) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{5.0, 5.0, 5.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+TEST(LineFit, MismatchedSizesRejected) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW((void)fit_line(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,60 @@
+// Tests for the strong time types.
+#include <gtest/gtest.h>
+
+#include "support/time.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Duration, FactoriesRoundToNanoseconds) {
+  EXPECT_EQ(nanoseconds(7).ns(), 7);
+  EXPECT_EQ(microseconds(1.0).ns(), 1000);
+  EXPECT_EQ(milliseconds(3.0).ns(), 3'000'000);
+  EXPECT_EQ(seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(microseconds(0.6401).ns(), 640);  // rounds to nearest ns
+}
+
+TEST(Duration, ArithmeticAndComparison) {
+  const Duration a = milliseconds(3.0);
+  const Duration b = microseconds(500.0);
+  EXPECT_EQ((a + b).ns(), 3'500'000);
+  EXPECT_EQ((a - b).ns(), 2'500'000);
+  EXPECT_EQ((a * 2).ns(), 6'000'000);
+  EXPECT_EQ((2 * a).ns(), 6'000'000);
+  EXPECT_EQ((a / 3).ns(), 1'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 6.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, milliseconds(3.0));
+}
+
+TEST(Duration, UnitConversions) {
+  const Duration d = microseconds(2.4);
+  EXPECT_DOUBLE_EQ(d.us(), 2.4);
+  EXPECT_DOUBLE_EQ(d.ms(), 0.0024);
+  EXPECT_NEAR(d.sec(), 2.4e-6, 1e-15);
+}
+
+TEST(Duration, NegativeValuesRepresentLag) {
+  const Duration lag = milliseconds(1.0) - milliseconds(2.5);
+  EXPECT_EQ(lag.ns(), -1'500'000);
+  EXPECT_LT(lag, Duration::zero());
+}
+
+TEST(SimTime, AbsoluteRelativeAlgebra) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + milliseconds(3.0);
+  EXPECT_EQ((t1 - t0).ns(), 3'000'000);
+  EXPECT_EQ((t1 - milliseconds(1.0)).ns(), 2'000'000);
+  EXPECT_GT(t1, t0);
+
+  SimTime t = t0;
+  t += microseconds(1.0);
+  EXPECT_EQ(t.ns(), 1000);
+}
+
+TEST(SimTime, MaxActsAsInfinity) {
+  EXPECT_GT(SimTime::max(), SimTime::zero() + seconds(1e9));
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,88 @@
+// Tests for delay-injection plan builders (Fig. 6 variants).
+#include <gtest/gtest.h>
+
+#include "workload/delay.hpp"
+
+namespace iw::workload {
+namespace {
+
+TEST(DelayPlans, SingleDelay) {
+  const auto plan = single_delay(5, 0, milliseconds(13.5));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].rank, 5);
+  EXPECT_EQ(plan[0].step, 0);
+  EXPECT_EQ(plan[0].duration, milliseconds(13.5));
+}
+
+TEST(DelayPlans, EqualModePlacesLocalRankOnEverySocket) {
+  Rng rng(1);
+  const auto plan = per_socket_delays(10, 10, 5, 0, milliseconds(9.0),
+                                      MultiDelayMode::equal, rng);
+  ASSERT_EQ(plan.size(), 10u);
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_EQ(plan[static_cast<std::size_t>(s)].rank, s * 10 + 5);
+    EXPECT_EQ(plan[static_cast<std::size_t>(s)].duration, milliseconds(9.0));
+    EXPECT_EQ(plan[static_cast<std::size_t>(s)].step, 0);
+  }
+}
+
+TEST(DelayPlans, HalfOddHalvesOddSockets) {
+  Rng rng(1);
+  const auto plan = per_socket_delays(4, 10, 5, 0, milliseconds(8.0),
+                                      MultiDelayMode::half_odd, rng);
+  EXPECT_EQ(plan[0].duration, milliseconds(8.0));
+  EXPECT_EQ(plan[1].duration, milliseconds(4.0));
+  EXPECT_EQ(plan[2].duration, milliseconds(8.0));
+  EXPECT_EQ(plan[3].duration, milliseconds(4.0));
+}
+
+TEST(DelayPlans, RandomModeBoundedAndVaried) {
+  Rng rng(7);
+  const auto plan = per_socket_delays(10, 10, 5, 0, milliseconds(10.0),
+                                      MultiDelayMode::random, rng);
+  bool varied = false;
+  for (const auto& d : plan) {
+    EXPECT_GT(d.duration, milliseconds(0.9));   // >= 10% of base
+    EXPECT_LE(d.duration, milliseconds(10.0));  // <= base
+    if (d.duration != plan[0].duration) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(DelayPlans, RandomModeDeterministicPerSeed) {
+  Rng a(3), b(3), c(4);
+  const auto pa = per_socket_delays(6, 6, 2, 1, milliseconds(5.0),
+                                    MultiDelayMode::random, a);
+  const auto pb = per_socket_delays(6, 6, 2, 1, milliseconds(5.0),
+                                    MultiDelayMode::random, b);
+  const auto pc = per_socket_delays(6, 6, 2, 1, milliseconds(5.0),
+                                    MultiDelayMode::random, c);
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(pa[i].duration, pb[i].duration);
+  bool differs = false;
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    if (pa[i].duration != pc[i].duration) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(DelayPlans, Validation) {
+  Rng rng(1);
+  EXPECT_THROW((void)per_socket_delays(0, 10, 5, 0, milliseconds(1.0),
+                                 MultiDelayMode::equal, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)per_socket_delays(2, 10, 10, 0, milliseconds(1.0),
+                                 MultiDelayMode::equal, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)per_socket_delays(2, 10, 5, 0, Duration::zero(),
+                                 MultiDelayMode::equal, rng),
+               std::invalid_argument);
+}
+
+TEST(DelayPlans, ModeNames) {
+  EXPECT_STREQ(to_string(MultiDelayMode::equal), "equal");
+  EXPECT_STREQ(to_string(MultiDelayMode::half_odd), "half");
+  EXPECT_STREQ(to_string(MultiDelayMode::random), "random");
+}
+
+}  // namespace
+}  // namespace iw::workload

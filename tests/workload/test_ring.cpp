@@ -1,0 +1,135 @@
+// Tests for the ring workload builder: neighbor sets, boundaries, programs.
+#include <gtest/gtest.h>
+
+#include "workload/ring.hpp"
+
+namespace iw::workload {
+namespace {
+
+RingSpec base_spec() {
+  RingSpec s;
+  s.ranks = 10;
+  s.steps = 3;
+  s.msg_bytes = 4096;
+  return s;
+}
+
+TEST(RingNeighbors, UnidirectionalOpenInterior) {
+  RingSpec s = base_spec();
+  EXPECT_EQ(send_peers(s, 4), (std::vector<int>{5}));
+  EXPECT_EQ(recv_peers(s, 4), (std::vector<int>{3}));
+}
+
+TEST(RingNeighbors, UnidirectionalOpenEdges) {
+  RingSpec s = base_spec();
+  EXPECT_EQ(send_peers(s, 9), (std::vector<int>{}));  // no upper neighbor
+  EXPECT_EQ(recv_peers(s, 0), (std::vector<int>{}));  // no lower neighbor
+  EXPECT_EQ(send_peers(s, 0), (std::vector<int>{1}));
+  EXPECT_EQ(recv_peers(s, 9), (std::vector<int>{8}));
+}
+
+TEST(RingNeighbors, UnidirectionalPeriodicWraps) {
+  RingSpec s = base_spec();
+  s.boundary = Boundary::periodic;
+  EXPECT_EQ(send_peers(s, 9), (std::vector<int>{0}));
+  EXPECT_EQ(recv_peers(s, 0), (std::vector<int>{9}));
+}
+
+TEST(RingNeighbors, BidirectionalBothSides) {
+  RingSpec s = base_spec();
+  s.direction = Direction::bidirectional;
+  EXPECT_EQ(send_peers(s, 4), (std::vector<int>{5, 3}));
+  EXPECT_EQ(recv_peers(s, 4), (std::vector<int>{3, 5}));
+}
+
+TEST(RingNeighbors, DistanceTwo) {
+  RingSpec s = base_spec();
+  s.distance = 2;
+  EXPECT_EQ(send_peers(s, 4), (std::vector<int>{5, 6}));
+  EXPECT_EQ(recv_peers(s, 4), (std::vector<int>{3, 2}));
+  s.direction = Direction::bidirectional;
+  EXPECT_EQ(send_peers(s, 4), (std::vector<int>{5, 3, 6, 2}));
+}
+
+TEST(RingNeighbors, DistanceTwoOpenEdgeClipping) {
+  RingSpec s = base_spec();
+  s.distance = 2;
+  EXPECT_EQ(send_peers(s, 8), (std::vector<int>{9}));  // 10 clipped
+  EXPECT_EQ(recv_peers(s, 1), (std::vector<int>{0}));  // -1 clipped
+}
+
+TEST(RingPrograms, OneProgramPerRankWithRightShape) {
+  RingSpec s = base_spec();
+  const auto programs = build_ring(s);
+  ASSERT_EQ(programs.size(), 10u);
+  // Interior rank: per step mark + compute + 1 send + 1 recv + waitall = 5.
+  EXPECT_EQ(programs[4].size(), 15u);
+  EXPECT_EQ(programs[4].rounds(), 3);
+  // Edge rank 9 has no send.
+  EXPECT_EQ(programs[9].size(), 12u);
+}
+
+TEST(RingPrograms, DelayInjectedAfterComputeOfThatStep) {
+  RingSpec s = base_spec();
+  const std::vector<DelaySpec> delays{{4, 1, milliseconds(10.0)}};
+  const auto programs = build_ring(s, delays);
+  EXPECT_EQ(programs[4].total_injected(), milliseconds(10.0));
+  EXPECT_EQ(programs[3].total_injected(), Duration::zero());
+  // The inject op must sit between step 1's compute and its sends.
+  const auto& ops = programs[4].ops();
+  bool found = false;
+  for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+    if (std::holds_alternative<mpi::OpInject>(ops[i])) {
+      EXPECT_TRUE(std::holds_alternative<mpi::OpCompute>(ops[i - 1]));
+      EXPECT_TRUE(std::holds_alternative<mpi::OpIsend>(ops[i + 1]));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RingPrograms, MultipleDelaysOnSameRankStepAccumulate) {
+  RingSpec s = base_spec();
+  const std::vector<DelaySpec> delays{{4, 1, milliseconds(2.0)},
+                                      {4, 1, milliseconds(3.0)}};
+  const auto programs = build_ring(s, delays);
+  EXPECT_EQ(programs[4].total_injected(), milliseconds(5.0));
+}
+
+TEST(RingPrograms, ValidationRejectsBadSpecs) {
+  RingSpec s = base_spec();
+  s.ranks = 1;
+  EXPECT_THROW(build_ring(s), std::invalid_argument);
+
+  s = base_spec();
+  s.distance = 10;
+  EXPECT_THROW(build_ring(s), std::invalid_argument);
+
+  s = base_spec();
+  s.boundary = Boundary::periodic;
+  s.distance = 5;  // 2*5 >= 10
+  EXPECT_THROW(build_ring(s), std::invalid_argument);
+
+  s = base_spec();
+  const std::vector<DelaySpec> bad{{99, 0, milliseconds(1.0)}};
+  EXPECT_THROW(build_ring(s, bad), std::invalid_argument);
+}
+
+TEST(RingPrograms, NoisyFlagPropagates) {
+  RingSpec s = base_spec();
+  s.noisy = false;
+  const auto programs = build_ring(s);
+  for (const auto& op : programs[0].ops()) {
+    if (const auto* comp = std::get_if<mpi::OpCompute>(&op)) {
+      EXPECT_FALSE(comp->noisy);
+    }
+  }
+}
+
+TEST(RingEnums, Names) {
+  EXPECT_STREQ(to_string(Direction::unidirectional), "unidirectional");
+  EXPECT_STREQ(to_string(Boundary::periodic), "periodic");
+}
+
+}  // namespace
+}  // namespace iw::workload
