@@ -66,6 +66,9 @@ class Cluster {
   [[nodiscard]] std::uint64_t events_processed() const {
     return engine_.events_processed();
   }
+  [[nodiscard]] std::size_t peak_events_pending() const {
+    return engine_.peak_events_pending();
+  }
 
   /// End-to-end one-message communication time between two ranks, matching
   /// the protocol the transport would pick — the `Tcomm` for Eq. 2.

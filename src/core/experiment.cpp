@@ -46,7 +46,8 @@ WaveResult run_wave_experiment(const WaveExperiment& exp) {
 
   WaveResult result{cluster.run(programs, exp.injected_noise),
                     {}, {}, mpi::WireProtocol::eager, Duration::zero(), 0.0,
-                    SimTime::zero()};
+                    SimTime::zero(), cluster.events_processed(),
+                    cluster.peak_events_pending()};
 
   // Protocol from the static size rule (the buffer-capacity fallback does
   // not trigger in bulk-synchronous rings: backlogs drain every step).

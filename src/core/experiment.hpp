@@ -37,6 +37,10 @@ struct WaveResult {
   double predicted_speed = 0.0;
   /// Injection wall-clock time (begin of the injected segment).
   SimTime injection_time;
+  /// Engine counters for the run: total events fired and the calendar's
+  /// peak population (simulation-cost figures tracked by bench/perf_engine).
+  std::uint64_t events_processed = 0;
+  std::size_t peak_events_pending = 0;
 };
 
 /// Runs the experiment. If `delays` is empty the wave analyses stay empty.

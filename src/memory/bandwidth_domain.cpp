@@ -33,7 +33,7 @@ Duration BandwidthDomain::solo_time(std::int64_t bytes) const {
   return seconds(static_cast<double>(bytes) / rate);
 }
 
-void BandwidthDomain::submit(std::int64_t bytes, std::function<void()> done) {
+void BandwidthDomain::submit(std::int64_t bytes, sim::EventFn done) {
   IW_REQUIRE(bytes >= 0, "job size must be non-negative");
   advance_progress();
   jobs_.push_back(

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -31,8 +30,8 @@ class BandwidthDomain {
 
   /// Submits a job that must move `bytes` through the domain; `done` fires
   /// when the transfer completes. Jobs are preemptively re-rated whenever
-  /// membership changes.
-  void submit(std::int64_t bytes, std::function<void()> done);
+  /// membership changes. `done` is a one-shot move-only continuation.
+  void submit(std::int64_t bytes, sim::EventFn done);
 
   [[nodiscard]] int active_jobs() const { return static_cast<int>(jobs_.size()); }
   [[nodiscard]] double total_Bps() const { return total_Bps_; }
@@ -47,7 +46,7 @@ class BandwidthDomain {
  private:
   struct Job {
     double remaining_bytes;
-    std::function<void()> done;
+    sim::EventFn done;
     std::uint64_t id;
   };
 

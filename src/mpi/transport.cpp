@@ -37,8 +37,7 @@ void Transport::set_memory_domains(DomainLookup lookup) {
 }
 
 void Transport::transfer(int src, int dst, std::int64_t bytes,
-                         std::function<void()> on_injected,
-                         std::function<void()> on_arrival) {
+                         sim::EventFn on_injected, sim::EventFn on_arrival) {
   const net::LinkClass cls = topo_.classify(src, dst);
   const bool same_node = cls == net::LinkClass::intra_socket ||
                          cls == net::LinkClass::inter_socket;
@@ -56,20 +55,21 @@ void Transport::transfer(int src, int dst, std::int64_t bytes,
 
   // Memory path: source-side buffer copy, then destination-side copy-out,
   // each drawing on the owning socket's memory bandwidth (they contend with
-  // computation — the effect the Eq. 1 model ignores).
+  // computation — the effect the Eq. 1 model ignores). The arrival
+  // continuation is moved stage to stage, not shared.
   memory::BandwidthDomain* dst_domain = domain_lookup_(dst);
   const Duration latency = link(src, dst).latency;
-  auto arrival_fn = std::make_shared<std::function<void()>>(
-      std::move(on_arrival));
   src_domain->submit(
-      bytes, [this, bytes, dst_domain, latency, arrival_fn,
-              injected = std::move(on_injected)]() mutable {
+      bytes, [this, bytes, dst_domain, latency,
+              injected = std::move(on_injected),
+              arrival = std::move(on_arrival)]() mutable {
         injected();
-        engine_.after(latency, [this, bytes, dst_domain, arrival_fn] {
+        engine_.after(latency, [bytes, dst_domain,
+                                arrival = std::move(arrival)]() mutable {
           if (dst_domain != nullptr) {
-            dst_domain->submit(bytes, [arrival_fn] { (*arrival_fn)(); });
+            dst_domain->submit(bytes, std::move(arrival));
           } else {
-            (*arrival_fn)();
+            arrival();
           }
         });
       });
@@ -118,9 +118,8 @@ SimTime Transport::inject(int src, int dst, std::int64_t payload_bytes) {
   const SimTime start = std::max(engine_.now(), s.nic_free);
   Duration busy = p.gap;
   if (payload_bytes > 0) {
-    // transfer_time includes latency; strip it so the NIC is busy only for
-    // the injection itself.
-    busy += p.transfer_time(payload_bytes) - p.latency;
+    // The NIC is busy only for the injection itself, not the wire latency.
+    busy += p.payload_time(payload_bytes);
   }
   s.nic_free = start + busy;
   return s.nic_free + p.latency;

@@ -150,10 +150,11 @@ class Transport {
   /// sender has fully handed the data off (its local completion point for
   /// rendezvous sends); `on_arrival` fires when the payload is available at
   /// the destination. Uses the NIC path across nodes and the memory-copy
-  /// path within a node when domains are configured.
-  void transfer(int src, int dst, std::int64_t bytes,
-                std::function<void()> on_injected,
-                std::function<void()> on_arrival);
+  /// path within a node when domains are configured. The continuations are
+  /// one-shot move-only closures: they travel through the protocol layers
+  /// by move, never by copy.
+  void transfer(int src, int dst, std::int64_t bytes, sim::EventFn on_injected,
+                sim::EventFn on_arrival);
 
   void send_eager(int src, int dst, int tag, std::int64_t bytes,
                   RequestId request);

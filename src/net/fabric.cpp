@@ -1,10 +1,15 @@
 #include "net/fabric.hpp"
 
+#include "support/error.hpp"
+
 namespace iw::net {
 namespace {
 
 LinkParams make_link(Duration latency, double bandwidth_Bps,
                      Duration overhead, Duration gap) {
+  IW_REQUIRE(bandwidth_Bps > 0.0, "link bandwidth must be positive");
+  IW_REQUIRE(latency.ns() >= 0 && overhead.ns() >= 0 && gap.ns() >= 0,
+             "link time parameters must be non-negative");
   LinkParams p;
   p.latency = latency;
   p.bandwidth_Bps = bandwidth_Bps;

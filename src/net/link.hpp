@@ -40,14 +40,20 @@ struct LinkParams {
   Duration overhead;          ///< o: CPU time consumed per message at an endpoint
   Duration gap;               ///< g: minimum NIC spacing between injections
 
+  /// Serialization time of `bytes` on the link (no latency, overhead, or
+  /// gap): bytes/bandwidth. This is the duration a NIC stays busy injecting
+  /// the payload.
+  [[nodiscard]] Duration payload_time(std::int64_t bytes) const {
+    IW_REQUIRE(bytes >= 0, "message size must be non-negative");
+    IW_REQUIRE(bandwidth_Bps > 0, "link bandwidth must be positive");
+    const double tx_ns = static_cast<double>(bytes) / bandwidth_Bps * 1e9;
+    return Duration{static_cast<std::int64_t>(tx_ns + 0.5)};
+  }
+
   /// Pure transfer time of `bytes` payload over this link (no overhead/gap):
   /// the Hockney model T = latency + bytes/bandwidth.
   [[nodiscard]] Duration transfer_time(std::int64_t bytes) const {
-    IW_REQUIRE(bytes >= 0, "message size must be non-negative");
-    IW_REQUIRE(bandwidth_Bps > 0, "link bandwidth must be positive");
-    const double tx_ns =
-        static_cast<double>(bytes) / bandwidth_Bps * 1e9;
-    return latency + Duration{static_cast<std::int64_t>(tx_ns + 0.5)};
+    return latency + payload_time(bytes);
   }
 
   /// Time for a zero-payload control message (RTS/CTS handshakes).

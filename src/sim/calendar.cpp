@@ -1,5 +1,6 @@
 #include "sim/calendar.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/error.hpp"
@@ -8,22 +9,164 @@ namespace iw::sim {
 
 std::uint64_t Calendar::schedule(SimTime when, EventFn fn) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{when, seq, std::move(fn)});
+  IW_ASSERT(seq < (1ull << (64 - kSlotBits)), "calendar sequence exhausted");
+  const std::uint32_t slot = acquire_slot(std::move(fn), seq);
+  if (std::uint32_t* tail = times_.find_or_insert(when.ns(), slot)) {
+    // Timestamp already pending: O(1) chain append, no heap traffic.
+    chain_next_[*tail] = slot;
+    *tail = slot;
+  } else {
+    heap_.push_back(Entry{when.ns(), (seq << kSlotBits) | slot});
+    sift_up(heap_.size() - 1);
+  }
+  ++live_;
+  if (live_ > peak_size_) peak_size_ = live_;
   return seq;
 }
 
 SimTime Calendar::next_time() const {
   IW_REQUIRE(!heap_.empty(), "next_time on empty calendar");
-  return heap_.top().when;
+  return SimTime{heap_.front().when_ns};
 }
 
 Event Calendar::pop() {
   IW_REQUIRE(!heap_.empty(), "pop on empty calendar");
-  // std::priority_queue::top() returns const&; the move is safe because we
-  // pop immediately afterwards.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  return ev;
+  const std::int64_t when_ns = heap_.front().when_ns;
+  const std::uint32_t slot = advance_root();
+  return Event{SimTime{when_ns}, slot_seq_[slot], std::move(slab_[slot])};
+}
+
+bool Calendar::pop_if_at(SimTime when, EventFn& out) {
+  if (heap_.empty() || heap_.front().when_ns != when.ns()) return false;
+  const std::uint32_t slot = advance_root();
+  out = std::move(slab_[slot]);
+  return true;
+}
+
+std::uint32_t Calendar::advance_root() {
+  Entry& root = heap_.front();
+  const auto slot = static_cast<std::uint32_t>(root.seq_slot & kSlotMask);
+  const std::uint32_t next = chain_next_[slot];
+  if (next != kNil) {
+    // Promote the next chained event: the entry keeps its heap position
+    // (same time; the entry's seq bits are already minimal for this time).
+    root.seq_slot = (root.seq_slot & ~kSlotMask) | next;
+  } else {
+    times_.erase(root.when_ns);
+    remove_root();
+  }
+  free_slots_.push_back(slot);
+  --live_;
+  return slot;
+}
+
+std::uint32_t Calendar::acquire_slot(EventFn&& fn, std::uint64_t seq) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = std::move(fn);
+  } else {
+    IW_ASSERT(slab_.size() < kSlotMask,
+              "calendar slab exhausted (>16M pending)");
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(fn));
+    chain_next_.push_back(kNil);
+    slot_seq_.push_back(0);
+  }
+  chain_next_[slot] = kNil;
+  slot_seq_[slot] = seq;
+  return slot;
+}
+
+void Calendar::remove_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (heap_.size() > 1) sift_down(0);
+}
+
+void Calendar::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+std::uint32_t* Calendar::TimeIndex::find_or_insert(std::int64_t when_ns,
+                                                   std::uint32_t tail) {
+  // Keep load (live + tombstones) under half capacity so probes stay short.
+  if (cells_.empty() || (used_ + tombs_ + 1) * 2 > cells_.size()) {
+    const std::size_t target =
+        tombs_ > used_ / 2 ? cells_.size() : cells_.size() * 2;
+    rehash(std::max<std::size_t>(64, target));
+  }
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t reuse = SIZE_MAX;  // first tombstone seen along the probe
+  for (std::size_t i = hash(when_ns) & mask;; i = (i + 1) & mask) {
+    Cell& c = cells_[i];
+    if (c.state == kUsed) {
+      if (c.when_ns == when_ns) return &c.tail;
+      continue;
+    }
+    if (c.state == kTomb) {
+      if (reuse == SIZE_MAX) reuse = i;
+      continue;
+    }
+    // kFree: the key is absent — insert in the same pass.
+    const std::size_t j = reuse == SIZE_MAX ? i : reuse;
+    if (cells_[j].state == kTomb) --tombs_;
+    cells_[j] = Cell{when_ns, tail, kUsed};
+    ++used_;
+    return nullptr;
+  }
+}
+
+void Calendar::TimeIndex::erase(std::int64_t when_ns) noexcept {
+  const std::size_t mask = cells_.size() - 1;
+  for (std::size_t i = hash(when_ns) & mask;; i = (i + 1) & mask) {
+    Cell& c = cells_[i];
+    if (c.state == kUsed && c.when_ns == when_ns) {
+      c.state = kTomb;
+      --used_;
+      ++tombs_;
+      return;
+    }
+  }
+}
+
+void Calendar::TimeIndex::rehash(std::size_t capacity) {
+  std::vector<Cell> old = std::move(cells_);
+  cells_.assign(capacity, Cell{0, 0, kFree});
+  tombs_ = 0;
+  const std::size_t mask = capacity - 1;
+  for (const Cell& c : old) {
+    if (c.state != kUsed) continue;
+    std::size_t i = hash(c.when_ns) & mask;
+    while (cells_[i].state == kUsed) i = (i + 1) & mask;
+    cells_[i] = c;
+  }
+}
+
+void Calendar::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
 }
 
 }  // namespace iw::sim

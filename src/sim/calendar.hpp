@@ -1,8 +1,35 @@
 // The event calendar: a deterministic min-heap of future events.
+//
+// Layout: a 4-ary implicit heap of 16-byte entries over a slab of EventFn
+// closures. An entry packs (when, seq, slot) into two words: the timestamp,
+// and seq<<24 | slot. Since sequence numbers are unique, comparing the
+// packed word compares seq — the slot bits never decide — so the heap order
+// is exactly the deterministic (time, seq) contract. Sift operations move
+// only these 16-byte entries; closures stay put in their slab slot from
+// schedule() to pop(), where they are moved (never copied) out to the
+// caller. The 4-ary shape halves the tree depth of a binary heap and keeps
+// a node's children inside one or two cache lines. Freed slots are recycled
+// LIFO so a steady-state simulation (schedule/pop churn at a roughly
+// constant horizon) touches a small, cache-resident working set.
+//
+// Same-time chaining: bulk-synchronous simulations schedule bursts of
+// events for one timestamp (every rank waking at the same step boundary,
+// zero-delay continuations, equal-latency arrivals from different
+// senders). A small open-addressed index maps each pending timestamp to
+// its chain tail, so a schedule() at an already-pending time appends in
+// O(1) to a FIFO chain hanging off the existing heap entry instead of
+// becoming a heap node of its own; pops advance the chain head in place
+// with no sift at all. The heap therefore holds at most one entry per
+// distinct timestamp. This is safe for the (time, seq) contract: chains
+// grow by global scheduling order, so FIFO chain order is exactly seq
+// order within a timestamp, and across timestamps the heap orders as
+// before.
+//
+// Capacity: 24 slot bits allow 16.7M simultaneously pending events and 40
+// seq bits allow ~1.1e12 events per run; both are enforced loudly.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -16,8 +43,11 @@ class Calendar {
   /// is expressed by the closure checking its own validity flag).
   std::uint64_t schedule(SimTime when, EventFn fn);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Largest number of simultaneously pending events seen so far.
+  [[nodiscard]] std::size_t peak_size() const noexcept { return peak_size_; }
 
   /// Time of the earliest pending event. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -25,9 +55,79 @@ class Calendar {
   /// Removes and returns the earliest event. Requires !empty().
   Event pop();
 
+  /// Fast path for draining a same-timestamp batch: if the earliest pending
+  /// event fires exactly at `when`, moves its closure into `out` and returns
+  /// true; otherwise leaves `out` untouched and returns false. Equal-time
+  /// events come out in ascending seq order, so a drain loop preserves the
+  /// deterministic (time, seq) contract.
+  bool pop_if_at(SimTime when, EventFn& out);
+
  private:
-  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  static constexpr std::size_t kArity = 4;
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Entry {
+    std::int64_t when_ns;
+    std::uint64_t seq_slot;  ///< seq << kSlotBits | slot of the chain head
+  };
+
+  static bool earlier(const Entry& a, const Entry& b) noexcept {
+    if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  /// Open-addressed hash index: pending timestamp -> chain tail slot.
+  /// Power-of-two capacity, linear probing, tombstone deletion with
+  /// rehash-on-clutter. Determinism is untouched: the index is only ever
+  /// queried per key, never iterated.
+  class TimeIndex {
+   public:
+    /// Single-pass upsert: if `when_ns` is present, returns the address of
+    /// its tail slot (caller appends to the chain). Otherwise records
+    /// (when_ns -> tail) and returns nullptr (caller creates a heap entry).
+    std::uint32_t* find_or_insert(std::int64_t when_ns, std::uint32_t tail);
+    /// Erases a timestamp (must be present).
+    void erase(std::int64_t when_ns) noexcept;
+
+   private:
+    enum : std::uint32_t { kFree = 0, kUsed = 1, kTomb = 2 };
+    struct Cell {
+      std::int64_t when_ns;
+      std::uint32_t tail;
+      std::uint32_t state;
+    };
+
+    static std::size_t hash(std::int64_t when_ns) noexcept {
+      auto x = static_cast<std::uint64_t>(when_ns) * 0x9E3779B97F4A7C15ull;
+      return static_cast<std::size_t>(x >> 32);
+    }
+
+    void rehash(std::size_t capacity);
+
+    std::vector<Cell> cells_;  ///< size is a power of two (or empty)
+    std::size_t used_ = 0;
+    std::size_t tombs_ = 0;
+  };
+
+  std::uint32_t acquire_slot(EventFn&& fn, std::uint64_t seq);
+  /// Releases the root's slot and either advances its chain or removes the
+  /// heap entry. Returns the released slot.
+  std::uint32_t advance_root();
+  void remove_root();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Entry> heap_;
+  std::vector<EventFn> slab_;  ///< closure storage, indexed by slot
+  std::vector<std::uint32_t> chain_next_;  ///< same-time FIFO links
+  std::vector<std::uint64_t> slot_seq_;    ///< per-slot sequence numbers
+  std::vector<std::uint32_t> free_slots_;
+  TimeIndex times_;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace iw::sim

@@ -20,13 +20,23 @@ void Engine::run() { run_until(SimTime::max()); }
 
 void Engine::run_until(SimTime deadline) {
   stopped_ = false;
+  EventFn fn;
   while (!stopped_ && !calendar_.empty()) {
-    if (calendar_.next_time() > deadline) break;
-    Event ev = calendar_.pop();
-    IW_ASSERT(ev.when >= now_, "calendar produced an out-of-order event");
-    now_ = ev.when;
-    ++processed_;
-    ev.fn();
+    const SimTime batch = calendar_.next_time();
+    if (batch > deadline) break;
+    IW_ASSERT(batch >= now_, "calendar produced an out-of-order event");
+    now_ = batch;
+    // Same-timestamp fast path: drain the whole batch with one combined
+    // check-and-pop per event instead of an empty/next_time/pop triple.
+    // (time, seq) determinism is preserved: the heap yields equal-time
+    // entries in ascending seq order, and anything scheduled at `batch`
+    // from inside a handler gets a larger seq, so it drains after the
+    // events already pending — exactly the one-at-a-time order.
+    while (calendar_.pop_if_at(batch, fn)) {
+      ++processed_;
+      fn();
+      if (stopped_) return;
+    }
   }
 }
 

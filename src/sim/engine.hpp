@@ -38,6 +38,12 @@ class Engine {
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return calendar_.size(); }
 
+  /// Largest calendar population seen so far — the working-set figure the
+  /// perf bench tracks (BENCH_engine.json).
+  [[nodiscard]] std::size_t peak_events_pending() const {
+    return calendar_.peak_size();
+  }
+
  private:
   Calendar calendar_;
   SimTime now_ = SimTime::zero();

@@ -1,9 +1,14 @@
 // Event primitives for the discrete-event engine.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 
+#include "support/error.hpp"
 #include "support/time.hpp"
 
 namespace iw::sim {
@@ -11,7 +16,147 @@ namespace iw::sim {
 /// An event action. Events are closures so that the higher layers (MPI
 /// protocol machines, bandwidth domains, processes) can schedule arbitrary
 /// continuations without the engine knowing their types.
-using EventFn = std::function<void()>;
+///
+/// EventFn is a move-only replacement for std::function<void()> tuned for
+/// the calendar hot path: closures up to kInlineBytes with a nothrow move
+/// constructor live inside the object (no allocation, and a pop() moves at
+/// most kInlineBytes instead of touching the heap); larger or throwing-move
+/// callables fall back to a single heap allocation whose relocation is one
+/// pointer copy. Being move-only also lets call sites thread one-shot
+/// continuations through protocol layers without shared_ptr wrappers.
+class EventFn {
+ public:
+  /// Sized for the engine's common closures: a this-pointer plus a few
+  /// captured scalars. Every closure in src/ scheduled on the hot path
+  /// (compute completion, NIC completion, bandwidth re-rating) fits.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+  friend bool operator==(const EventFn& f, std::nullptr_t) noexcept {
+    return f.vtable_ == nullptr;
+  }
+
+  /// Invokes the callable. Calling an empty EventFn is a contract
+  /// violation and fails loudly (the std::function it replaced threw
+  /// std::bad_function_call; silent UB is not acceptable here).
+  void operator()() {
+    IW_ASSERT(vtable_ != nullptr, "invoking an empty EventFn");
+    vtable_->invoke(storage_);
+  }
+
+  /// True when the callable lives in the inline buffer (observable for
+  /// tests; meaningless on an empty EventFn).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* p);
+    /// Move-constructs the callable from `from` into `to` and destroys the
+    /// source (for heap-held callables: one pointer copy). Consulted only
+    /// when !trivial_relocate.
+    void (*relocate)(void* from, void* to) noexcept;
+    /// Consulted only when !trivial_destroy.
+    void (*destroy)(void* p) noexcept;
+    bool inline_storage;
+    /// Relocation is a plain buffer copy: trivially copyable inline
+    /// callables, and every heap-held callable (its storage is one raw
+    /// pointer). Lets move_from skip the indirect call — the calendar moves
+    /// each event several times between schedule() and invocation, and
+    /// simulator closures (a this-pointer plus scalars) are almost always
+    /// in this class.
+    bool trivial_relocate;
+    /// Destruction is a no-op (trivially destructible inline callables).
+    bool trivial_destroy;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* from, void* to) noexcept {
+        D* src = std::launder(reinterpret_cast<D*>(from));
+        ::new (to) D(std::move(*src));
+        src->~D();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+      true,
+      std::is_trivially_copyable_v<D>,
+      std::is_trivially_destructible_v<D>,
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) D*(*std::launder(reinterpret_cast<D**>(from)));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); },
+      false,
+      true,   // storage is one raw pointer; copying the buffer moves it
+      false,  // must delete the heap object
+  };
+
+  void move_from(EventFn& other) noexcept {
+    const VTable* vt = other.vtable_;
+    if (vt == nullptr) return;
+    if (vt->trivial_relocate) {
+      // Copying the whole buffer is correct for any trivially relocatable
+      // callable and lets the compiler emit a few wide moves inline.
+      std::memcpy(storage_, other.storage_, kInlineBytes);
+    } else {
+      vt->relocate(other.storage_, storage_);
+    }
+    vtable_ = vt;
+    other.vtable_ = nullptr;
+  }
+
+  void reset() noexcept {
+    const VTable* vt = vtable_;
+    if (vt != nullptr) {
+      if (!vt->trivial_destroy) vt->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
 
 /// A scheduled event. `seq` is a global monotone counter that breaks
 /// timestamp ties deterministically: two events at the same simulated time
@@ -22,7 +167,10 @@ struct Event {
   EventFn fn;
 };
 
-/// Strict weak ordering for the calendar's min-heap.
+/// Strict weak ordering on (time, seq): the calendar's contract. Kept as a
+/// named comparator so reference implementations (e.g. the naive
+/// priority_queue baseline in bench/perf_engine.cpp) state the identical
+/// ordering.
 struct EventLater {
   bool operator()(const Event& a, const Event& b) const {
     if (a.when != b.when) return a.when > b.when;

@@ -1,0 +1,75 @@
+// Guards tier-1 test registration: every tests/**/*.cpp in the source tree
+// must appear in the CTest manifest that tests/CMakeLists.txt generates at
+// configure time. A test file added without re-running the configure step
+// (or one that escapes the glob) makes this fail loudly instead of silently
+// dropping out of the suite.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#ifndef IW_TESTS_SOURCE_DIR
+#error "tests/CMakeLists.txt must define IW_TESTS_SOURCE_DIR for this test"
+#endif
+#ifndef IW_TEST_MANIFEST
+#error "tests/CMakeLists.txt must define IW_TEST_MANIFEST for this test"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::set<std::string> manifest_entries() {
+  std::ifstream in(IW_TEST_MANIFEST);
+  std::set<std::string> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) entries.insert(line);
+  }
+  return entries;
+}
+
+std::vector<std::string> test_sources_on_disk() {
+  std::vector<std::string> sources;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(fs::path(IW_TESTS_SOURCE_DIR))) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".cpp") continue;
+    const std::string rel =
+        fs::relative(entry.path(), fs::path(IW_TESTS_SOURCE_DIR))
+            .generic_string();
+    sources.push_back("tests/" + rel);
+  }
+  return sources;
+}
+
+TEST(BuildManifest, ManifestExistsAndIsNonEmpty) {
+  ASSERT_TRUE(fs::exists(IW_TEST_MANIFEST))
+      << "manifest not found at " << IW_TEST_MANIFEST
+      << " — was the build configured with IW_BUILD_TESTS=ON?";
+  EXPECT_FALSE(manifest_entries().empty());
+}
+
+TEST(BuildManifest, EveryTestSourceIsRegisteredWithCTest) {
+  const std::set<std::string> registered = manifest_entries();
+  std::vector<std::string> missing;
+  for (const std::string& src : test_sources_on_disk()) {
+    if (registered.count(src) == 0) missing.push_back(src);
+  }
+  std::string joined;
+  for (const std::string& m : missing) joined += "\n  " + m;
+  EXPECT_TRUE(missing.empty())
+      << "test sources not registered with CTest (re-run cmake):" << joined;
+}
+
+TEST(BuildManifest, GuardsItself) {
+  // If the glob ever stops picking up this very file, the other assertions
+  // would never run; make the dependency explicit.
+  EXPECT_EQ(manifest_entries().count("tests/integration/test_build_manifest.cpp"),
+            1u);
+}
+
+}  // namespace

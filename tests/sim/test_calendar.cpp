@@ -1,6 +1,10 @@
 // Tests for the deterministic event calendar.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/calendar.hpp"
@@ -58,6 +62,124 @@ TEST(Calendar, SequenceNumbersIncrease) {
   const auto s1 = cal.schedule(SimTime{1}, [] {});
   const auto s2 = cal.schedule(SimTime{1}, [] {});
   EXPECT_LT(s1, s2);
+}
+
+// Regression for the (time, seq) contract under the slab-heap + same-time
+// chaining rework: same-time events scheduled NON-consecutively (other
+// timestamps in between) must still interleave purely by (time, seq).
+TEST(Calendar, TieBreakSurvivesInterleavedScheduling) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.schedule(SimTime{5}, [&] { order.push_back(0); });   // seq 0
+  cal.schedule(SimTime{9}, [&] { order.push_back(10); });  // seq 1
+  cal.schedule(SimTime{5}, [&] { order.push_back(1); });   // seq 2
+  cal.schedule(SimTime{2}, [&] { order.push_back(-1); });  // seq 3
+  cal.schedule(SimTime{5}, [&] { order.push_back(2); });   // seq 4
+  cal.schedule(SimTime{9}, [&] { order.push_back(11); });  // seq 5
+  while (!cal.empty()) cal.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 10, 11}));
+}
+
+// Events appended to a same-time chain while it is being drained must fire
+// after the already-pending events of that timestamp (larger seq).
+TEST(Calendar, SameTimeScheduleDuringDrain) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.schedule(SimTime{5}, [&] {
+    order.push_back(0);
+    cal.schedule(SimTime{5}, [&] { order.push_back(2); });
+  });
+  cal.schedule(SimTime{5}, [&] { order.push_back(1); });
+  while (!cal.empty()) cal.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// Regression for the seed's pop-by-copy bug: pop() must MOVE the closure
+// out — captured state must never be copied between schedule and fire.
+TEST(Calendar, PopMovesTheClosureWithoutCopying) {
+  struct CopyCounter {
+    int* copies;
+    CopyCounter(int* c) : copies(c) {}
+    CopyCounter(const CopyCounter& o) : copies(o.copies) { ++*copies; }
+    CopyCounter(CopyCounter&& o) noexcept : copies(o.copies) {}
+    void operator()() const {}
+  };
+  int copies = 0;
+  Calendar cal;
+  cal.schedule(SimTime{1}, CopyCounter{&copies});
+  Event ev = cal.pop();
+  ev.fn();
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(Calendar, AcceptsMoveOnlyClosures) {
+  Calendar cal;
+  auto payload = std::make_unique<int>(42);
+  int observed = 0;
+  cal.schedule(SimTime{1}, [p = std::move(payload), &observed] {
+    observed = *p;
+  });
+  cal.pop().fn();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Calendar, PopIfAtDrainsOnlyTheGivenTimestamp) {
+  Calendar cal;
+  int fired = 0;
+  cal.schedule(SimTime{5}, [&] { ++fired; });
+  cal.schedule(SimTime{5}, [&] { ++fired; });
+  cal.schedule(SimTime{8}, [&] { ++fired; });
+  EventFn fn;
+  while (cal.pop_if_at(SimTime{5}, fn)) fn();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(cal.size(), 1u);
+  EXPECT_FALSE(cal.pop_if_at(SimTime{7}, fn));
+  EXPECT_TRUE(cal.pop_if_at(SimTime{8}, fn));
+}
+
+TEST(Calendar, PeakSizeCountsChainedEvents) {
+  Calendar cal;
+  for (int i = 0; i < 10; ++i) cal.schedule(SimTime{7}, [] {});
+  for (int i = 0; i < 5; ++i) cal.schedule(SimTime{20 + i}, [] {});
+  EXPECT_EQ(cal.size(), 15u);
+  EXPECT_EQ(cal.peak_size(), 15u);
+  while (!cal.empty()) cal.pop();
+  EXPECT_EQ(cal.peak_size(), 15u);
+  EXPECT_EQ(cal.size(), 0u);
+}
+
+// Stress the chain/heap interaction deterministically: a pseudo-random mix
+// of duplicate and unique timestamps must drain in exact (time, seq) order.
+TEST(Calendar, RandomizedMixDrainsInTimeSeqOrder) {
+  Calendar cal;
+  std::uint64_t rng = 0xC0FFEE123456789ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  struct Fired {
+    std::int64_t when;
+    std::uint64_t seq;
+  };
+  std::vector<Fired> fired;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> scheduled;
+  for (int i = 0; i < 2000; ++i) {
+    const auto when = static_cast<std::int64_t>(next() % 64);  // many dups
+    const auto seq = cal.schedule(SimTime{when}, [] {});
+    scheduled.emplace_back(when, seq);
+  }
+  while (!cal.empty()) {
+    Event ev = cal.pop();
+    fired.push_back(Fired{ev.when.ns(), ev.seq});
+  }
+  std::sort(scheduled.begin(), scheduled.end());
+  ASSERT_EQ(fired.size(), scheduled.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i].when, scheduled[i].first) << "at index " << i;
+    EXPECT_EQ(fired[i].seq, scheduled[i].second) << "at index " << i;
+  }
 }
 
 }  // namespace

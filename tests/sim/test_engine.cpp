@@ -83,6 +83,36 @@ TEST(Engine, PastSchedulingRejected) {
   EXPECT_THROW(eng.after(Duration{-1}, [] {}), std::invalid_argument);
 }
 
+// Regression for the batch-drain fast path: stop() inside a same-timestamp
+// batch must not drop the batch's remaining events — they stay pending and
+// fire on resume, still in (time, seq) order.
+TEST(Engine, StopMidBatchKeepsRemainingEvents) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(SimTime{5}, [&] {
+    order.push_back(0);
+    eng.stop();
+  });
+  eng.at(SimTime{5}, [&] { order.push_back(1); });
+  eng.at(SimTime{5}, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(eng.events_pending(), 2u);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(eng.now().ns(), 5);
+}
+
+TEST(Engine, PeakPendingTracksCalendarPopulation) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.at(SimTime{10 + i}, [] {});
+  for (int i = 0; i < 3; ++i) eng.at(SimTime{10}, [] {});  // same-time chain
+  EXPECT_EQ(eng.peak_events_pending(), 10u);
+  eng.run();
+  EXPECT_EQ(eng.peak_events_pending(), 10u);
+  EXPECT_EQ(eng.events_processed(), 10u);
+}
+
 TEST(Engine, DeterministicTieOrder) {
   Engine eng;
   std::vector<int> order;

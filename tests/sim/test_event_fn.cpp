@@ -1,0 +1,98 @@
+// Tests for EventFn, the small-buffer move-only callable of the engine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/event.hpp"
+
+namespace iw::sim {
+namespace {
+
+TEST(EventFn, DefaultIsEmpty) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn == nullptr);
+}
+
+TEST(EventFn, SmallClosureIsInline) {
+  int x = 0;
+  EventFn fn = [&x] { ++x; };
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(EventFn, LargeClosureFallsBackToHeap) {
+  struct Big {
+    std::uint64_t words[16];  // 128 bytes > kInlineBytes
+  };
+  Big big{};
+  big.words[0] = 7;
+  std::uint64_t out = 0;
+  EventFn fn = [big, &out] { out = big.words[0]; };
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  EventFn a = [counter] { ++*counter; };
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  EXPECT_EQ(counter.use_count(), 2);  // local + the one inside b
+}
+
+TEST(EventFn, MoveAssignDestroysPreviousTarget) {
+  auto held = std::make_shared<int>(0);
+  EventFn fn = [held] {};
+  EXPECT_EQ(held.use_count(), 2);
+  fn = EventFn{[] {}};
+  EXPECT_EQ(held.use_count(), 1);  // the old closure was destroyed
+}
+
+TEST(EventFn, DestructorReleasesCapturedState) {
+  auto held = std::make_shared<int>(0);
+  {
+    EventFn fn = [held] {};
+    EXPECT_EQ(held.use_count(), 2);
+  }
+  EXPECT_EQ(held.use_count(), 1);
+}
+
+TEST(EventFn, AcceptsMoveOnlyCallables) {
+  auto p = std::make_unique<int>(9);
+  int out = 0;
+  EventFn fn = [p = std::move(p), &out] { out = *p; };
+  fn();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(EventFn, WrapsStdFunction) {
+  int x = 0;
+  std::function<void()> f = [&x] { x = 5; };
+  EventFn fn = f;  // copies the std::function into the EventFn
+  fn();
+  EXPECT_EQ(x, 5);
+  EXPECT_TRUE(f != nullptr);  // source untouched
+}
+
+TEST(EventFn, SelfMoveAssignIsSafe) {
+  int x = 0;
+  EventFn fn = [&x] { ++x; };
+  EventFn& alias = fn;
+  fn = std::move(alias);
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(x, 1);
+}
+
+}  // namespace
+}  // namespace iw::sim
