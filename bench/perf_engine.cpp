@@ -12,7 +12,8 @@
 // std::function heap-allocates, as it does for every compute-completion and
 // protocol event in src/.
 //
-// Flags: --out=<path> (default BENCH_engine.json), --smoke (CI-sized run),
+// Flags: --json=<path> (default BENCH_engine.json; --out is an accepted
+//        alias, matching perf_sweep's flag names), --smoke (CI-sized run),
 //        --reps=N, --churn=N, --pending=N, --batches=N, --prefill=N.
 #include <chrono>
 #include <cmath>
@@ -301,7 +302,8 @@ void write_json(const std::string& path, const std::string& mode,
 int bench_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   cli.allow_only(
-      {"out", "smoke", "reps", "churn", "pending", "batches", "prefill"});
+      {"json", "out", "smoke", "reps", "churn", "pending", "batches",
+       "prefill"});
   const bool smoke = cli.has("smoke");
   const int reps =
       static_cast<int>(cli.get_or("reps", std::int64_t{smoke ? 2 : 5}));
@@ -315,7 +317,8 @@ int bench_main(int argc, char** argv) {
       cli.get_or("prefill", std::int64_t{smoke ? 100'000 : 1'000'000});
   const int ring_ranks = smoke ? 40 : 100;
   const int ring_steps = smoke ? 10 : 50;
-  const std::string out_path = cli.get_or("out", "BENCH_engine.json");
+  const std::string out_path =
+      cli.get("json").value_or(cli.get_or("out", "BENCH_engine.json"));
 
   bench::print_header("perf_engine",
                       "event-engine throughput: slab-backed 4-ary calendar vs "

@@ -1,0 +1,163 @@
+// Campaign-throughput benchmark: points/sec of the sweep runner vs worker
+// count, with a machine-readable BENCH_sweep.json artifact tracking the
+// scaling from PR to PR.
+//
+// Each measured campaign is a full scenario expansion run through the
+// production worker pool; the per-thread-count records are checksummed
+// against the single-threaded run, so the artifact also certifies that
+// parallel campaigns stay byte-deterministic. points/sec is the paper-level
+// figure of merit: a Fig. 8-style scan is ~3000 simulations, and the sweep
+// subsystem is what turns those from a shell loop into one process.
+//
+// Flags: --json=<path> (default BENCH_sweep.json), --scenario=<name>,
+//        --threads=1,2,4,8, --reps=N, --steps=N, --smoke (CI-sized run).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/cli.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+
+namespace {
+
+using namespace iw;
+
+/// FNV-1a over the serialized record fields: campaign output fingerprint.
+std::uint64_t fingerprint(const std::vector<sweep::SweepRecord>& records) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0x1f;
+    h *= 0x100000001b3ull;
+  };
+  for (const sweep::SweepRecord& rec : records)
+    for (const sweep::RecordField& f : sweep::record_fields(rec)) mix(f.value);
+  return h;
+}
+
+struct Run {
+  int threads = 1;
+  double seconds = std::numeric_limits<double>::infinity();
+  double points_per_sec = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+int bench_main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  cli.allow_only({"json", "scenario", "threads", "reps", "steps", "smoke"});
+  const bool smoke = cli.has("smoke");
+  const std::string json_path = cli.get_or("json", "BENCH_sweep.json");
+  const std::string scenario_name =
+      cli.get_or("scenario", std::string{"speed_vs_delay"});
+  const int reps =
+      static_cast<int>(cli.get_or("reps", std::int64_t{smoke ? 1 : 3}));
+  std::vector<std::int64_t> thread_counts =
+      cli.get_list_or("threads", smoke ? std::vector<std::int64_t>{1, 2}
+                                       : std::vector<std::int64_t>{1, 2, 4, 8});
+
+  const sweep::Scenario* scenario = sweep::find_scenario(scenario_name);
+  if (!scenario)
+    throw std::invalid_argument("unknown scenario: " + scenario_name);
+  sweep::SweepSpec spec = scenario->spec;
+  // Heavier points give stable per-campaign timings; the smoke run keeps
+  // the scenario's own size.
+  spec.steps = static_cast<int>(cli.get_or(
+      "steps", std::int64_t{smoke ? spec.steps : 2 * spec.steps}));
+
+  const auto points = sweep::expand(spec);
+  bench::print_header(
+      "perf_sweep",
+      "campaign throughput: " + scenario->name + ", " +
+          std::to_string(points.size()) + " points, worker-pool scaling");
+
+  std::vector<Run> runs;
+  bool reps_deterministic = true;
+  for (const std::int64_t threads : thread_counts) {
+    Run best;
+    best.threads = static_cast<int>(threads);
+    for (int r = 0; r < reps; ++r) {
+      sweep::RunnerOptions options;
+      options.threads = best.threads;
+      const sweep::CampaignResult result =
+          sweep::run_campaign(points, options);
+      // Every rep gets fingerprinted — a single divergent rep must fail
+      // the certification even if a correct rep happens to be fastest.
+      const std::uint64_t sum = fingerprint(result.records);
+      if (r == 0)
+        best.checksum = sum;
+      else
+        reps_deterministic = reps_deterministic && sum == best.checksum;
+      if (result.seconds < best.seconds) {
+        best.seconds = result.seconds;
+        best.points_per_sec = result.points_per_sec();
+      }
+    }
+    runs.push_back(best);
+    std::cout << best.threads << " thread(s): " << best.points_per_sec
+              << " points/s (" << best.seconds << " s)\n";
+  }
+
+  // Baseline: the run with the fewest workers (threads=1 in any default
+  // invocation), wherever it appears in the --threads list.
+  const Run* base_run = &runs.front();
+  for (const Run& r : runs)
+    if (r.threads < base_run->threads) base_run = &r;
+  const double base = base_run->points_per_sec;
+  bool deterministic = reps_deterministic;
+  double max_speedup = 0.0;
+  for (const Run& r : runs) {
+    deterministic = deterministic && r.checksum == base_run->checksum;
+    if (base > 0) max_speedup = std::max(max_speedup, r.points_per_sec / base);
+  }
+  std::cout << "\nmax speedup vs " << base_run->threads
+            << " thread(s): " << max_speedup
+            << "x, deterministic across thread counts: "
+            << (deterministic ? "yes" : "NO") << "\n";
+
+  std::ofstream out(json_path);
+  if (!out) throw std::runtime_error("cannot write " + json_path);
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n"
+      << "  \"bench\": \"perf_sweep\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"scenario\": \"" << scenario->name << "\",\n"
+      << "  \"points\": " << points.size() << ",\n"
+      << "  \"steps\": " << spec.steps << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    out << "    {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"points_per_sec\": " << r.points_per_sec
+        << ", \"speedup_vs_base\": "
+        << (base > 0 ? r.points_per_sec / base : 0.0) << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"summary\": {\n"
+      << "    \"base_threads\": " << base_run->threads << ",\n"
+      << "    \"max_speedup\": " << max_speedup << ",\n"
+      << "    \"deterministic\": " << (deterministic ? "true" : "false")
+      << "\n  }\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

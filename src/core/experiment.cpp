@@ -40,7 +40,88 @@ ClusterConfig cluster_for_ring(const workload::RingSpec& ring, bool ppn1,
   return config;
 }
 
+namespace {
+
+/// Protocol the transport picks for `bytes` under `config` (static size
+/// rule; the buffer-capacity fallback does not trigger in bulk-synchronous
+/// workloads, whose backlogs drain every step).
+mpi::WireProtocol protocol_for(const ClusterConfig& config,
+                               std::int64_t bytes) {
+  const std::int64_t limit = config.transport.eager_limit_override >= 0
+                                 ? config.transport.eager_limit_override
+                                 : config.fabric.eager_limit_bytes;
+  return bytes > limit ? mpi::WireProtocol::rendezvous
+                       : mpi::WireProtocol::eager;
+}
+
+WaveResult run_grid_experiment(const WaveExperiment& exp) {
+  const workload::Grid2DSpec& grid = *exp.grid;
+  Cluster cluster(exp.cluster);
+  const auto programs = workload::build_grid2d(grid, exp.delays);
+
+  WaveResult result{cluster.run(programs, exp.injected_noise),
+                    {}, {}, protocol_for(exp.cluster, grid.msg_bytes),
+                    Duration::zero(), 0.0, SimTime::zero(),
+                    cluster.events_processed(),
+                    cluster.peak_events_pending()};
+  if (exp.delays.empty()) return result;
+
+  const int inj_rank = exp.delays.front().rank;
+  result.injection_time = injection_begin(result.trace, inj_rank);
+  const auto [x0, y0] = workload::grid_coords(grid, inj_rank);
+
+  WaveProbe probe;
+  probe.injection_rank = inj_rank;
+  probe.injection_time = result.injection_time;
+  probe.min_idle = exp.min_idle;
+  // Ranks are row-major, so hop-walking ±1 traverses the injection row.
+  // The probes never wrap (rank±1 modulo np would jump rows on a torus),
+  // so they always run under the open-boundary rule, clamped to the row —
+  // and on a torus additionally to half the row, before the branches meet.
+  probe.boundary = workload::Boundary::open;
+  const int wrap_limit =
+      grid.boundary == workload::Boundary::periodic
+          ? std::max(1, grid.px / 2 - 1)
+          : grid.px;
+
+  probe.direction = +1;
+  probe.max_hops = std::min(wrap_limit, grid.px - 1 - x0);
+  if (probe.max_hops > 0) result.up = analyze_wave(result.trace, probe);
+  probe.direction = -1;
+  probe.max_hops = std::min(wrap_limit, x0);
+  if (probe.max_hops > 0) result.down = analyze_wave(result.trace, probe);
+
+  // Steady-state cycle from the corner rank farthest (Manhattan) from the
+  // injection; like the ring path, median over the post-transient steps.
+  const int corners[] = {0, grid.ranks() - 1,
+                         workload::grid_rank(grid, grid.px - 1, 0),
+                         workload::grid_rank(grid, 0, grid.py - 1)};
+  int far_rank = 0, far_dist = -1;
+  for (const int c : corners) {
+    const int dist = workload::grid_distance(grid, inj_rank, c);
+    if (dist > far_dist) {
+      far_dist = dist;
+      far_rank = c;
+    }
+  }
+  if (grid.steps >= 4)
+    result.measured_cycle =
+        measured_cycle(result.trace, far_rank, 1, grid.steps - 1);
+
+  // Eq. 2 per hop: 4-neighbor halo exchange behaves like the bidirectional
+  // d = 1 mode along each grid axis.
+  if (result.measured_cycle.ns() > 0)
+    result.predicted_speed =
+        static_cast<double>(sigma_factor(workload::Direction::bidirectional,
+                                         result.protocol)) /
+        result.measured_cycle.sec();
+  return result;
+}
+
+}  // namespace
+
 WaveResult run_wave_experiment(const WaveExperiment& exp) {
+  if (exp.grid) return run_grid_experiment(exp);
   Cluster cluster(exp.cluster);
   const auto programs = workload::build_ring(exp.ring, exp.delays);
 
@@ -49,15 +130,7 @@ WaveResult run_wave_experiment(const WaveExperiment& exp) {
                     SimTime::zero(), cluster.events_processed(),
                     cluster.peak_events_pending()};
 
-  // Protocol from the static size rule (the buffer-capacity fallback does
-  // not trigger in bulk-synchronous rings: backlogs drain every step).
-  const std::int64_t limit =
-      exp.cluster.transport.eager_limit_override >= 0
-          ? exp.cluster.transport.eager_limit_override
-          : exp.cluster.fabric.eager_limit_bytes;
-  result.protocol = exp.ring.msg_bytes > limit
-                        ? mpi::WireProtocol::rendezvous
-                        : mpi::WireProtocol::eager;
+  result.protocol = protocol_for(exp.cluster, exp.ring.msg_bytes);
 
   if (exp.delays.empty()) return result;
 

@@ -1,15 +1,18 @@
 // High-level experiment driver: one-call idle-wave experiments.
 //
-// Bundles cluster assembly, ring workload construction, delay injection,
-// optional fine-grained noise injection, and wave analysis in both
-// directions — the shape of nearly every experiment in the paper.
+// Bundles cluster assembly, workload construction (1-D ring/chain or 2-D
+// halo-exchange grid), delay injection, optional fine-grained noise
+// injection, and wave analysis in both directions — the shape of nearly
+// every experiment in the paper.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/idle_wave.hpp"
 #include "mpi/message.hpp"
+#include "workload/grid2d.hpp"
 #include "workload/ring.hpp"
 
 namespace iw::core {
@@ -17,6 +20,11 @@ namespace iw::core {
 struct WaveExperiment {
   ClusterConfig cluster;
   workload::RingSpec ring;
+  /// When set, the experiment runs the 2-D halo-exchange workload instead of
+  /// the ring; `ring` is then ignored. The wave is probed along the +x/-x
+  /// axis of the injection row (ranks are row-major, so hop-walking stays
+  /// meaningful), the straightforward 2-D slice of the paper's Eq. 2.
+  std::optional<workload::Grid2DSpec> grid;
   std::vector<workload::DelaySpec> delays;
   noise::NoiseSpec injected_noise = noise::NoiseSpec::none();
   /// Threshold below which a wait does not count as "the wave".

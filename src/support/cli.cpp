@@ -48,6 +48,57 @@ std::int64_t Cli::get_or(const std::string& key, std::int64_t fallback) const {
 
 bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
 
+namespace {
+
+// Splits "4,8,16" into trimmed-nothing elements and converts each with
+// `parse`, demanding that the whole element is consumed.
+template <typename T, typename ParseFn>
+std::vector<T> parse_list(const std::string& key, const std::string& raw,
+                          ParseFn parse) {
+  std::vector<T> out;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t comma = raw.find(',', begin);
+    const std::string elem = raw.substr(
+        begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    std::size_t consumed = 0;
+    try {
+      out.push_back(parse(elem, &consumed));
+    } catch (const std::exception&) {
+      consumed = std::string::npos;  // signal failure uniformly below
+    }
+    if (consumed == std::string::npos || consumed != elem.size())
+      throw std::invalid_argument("--" + key + ": bad list element '" + elem +
+                                  "' in '" + raw + "'");
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Cli::get_list_or(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return parse_list<std::int64_t>(key, *v, [](const std::string& s,
+                                              std::size_t* consumed) {
+    return std::stoll(s, consumed);
+  });
+}
+
+std::vector<double> Cli::get_list_or(const std::string& key,
+                                     std::vector<double> fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return parse_list<double>(
+      key, *v,
+      [](const std::string& s, std::size_t* consumed) {
+        return std::stod(s, consumed);
+      });
+}
+
 void Cli::allow_only(const std::vector<std::string>& known) const {
   for (const auto& [key, value] : values_) {
     if (std::find(known.begin(), known.end(), key) == known.end())

@@ -28,6 +28,14 @@ class Cli {
                                     std::int64_t fallback) const;
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// Comma-separated numeric lists for sweep axes: `--np=4,8,16`. Returns
+  /// `fallback` when the flag is absent; throws std::invalid_argument on
+  /// empty elements ("4,,8"), trailing separators, or non-numeric input.
+  [[nodiscard]] std::vector<std::int64_t> get_list_or(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+  [[nodiscard]] std::vector<double> get_list_or(
+      const std::string& key, std::vector<double> fallback) const;
+
   /// Ensures every provided flag is among `known`; throws otherwise.
   void allow_only(const std::vector<std::string>& known) const;
 

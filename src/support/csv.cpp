@@ -1,5 +1,6 @@
 #include "support/csv.hpp"
 
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -35,6 +36,8 @@ void CsvWriter::header(std::initializer_list<std::string> names) {
   emit(std::vector<std::string>(names));
 }
 
+void CsvWriter::header(const std::vector<std::string>& names) { emit(names); }
+
 void CsvWriter::row(std::initializer_list<std::string> fields) {
   emit(std::vector<std::string>(fields));
 }
@@ -55,6 +58,47 @@ std::string csv_num(double v) {
   os.precision(12);
   os << v;
   return os.str();
+}
+
+JsonlWriter::JsonlWriter() = default;
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : out_(std::make_unique<std::ofstream>(path)) {
+  if (!*out_) throw std::runtime_error("cannot open JSONL output: " + path);
+}
+
+void JsonlWriter::object(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  if (!out_) return;
+  *out_ << '{';
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << json_str(fields[i].first) << ':' << fields[i].second;
+  }
+  *out_ << "}\n";
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
 }
 
 }  // namespace iw

@@ -1,10 +1,11 @@
-// Minimal CSV emission for figure benches (`--out <file>` support).
+// Minimal CSV and JSON-Lines emission for figure benches and sweep sinks.
 #pragma once
 
 #include <fstream>
 #include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace iw {
@@ -22,6 +23,7 @@ class CsvWriter {
   CsvWriter();
 
   void header(std::initializer_list<std::string> names);
+  void header(const std::vector<std::string>& names);
   void row(std::initializer_list<std::string> fields);
   void row(const std::vector<std::string>& fields);
 
@@ -36,5 +38,28 @@ class CsvWriter {
 
 /// Formats a double with enough digits for round-tripping figure data.
 [[nodiscard]] std::string csv_num(double v);
+
+/// Streams one JSON object per line (JSON Lines). Field values are raw JSON
+/// fragments: pass numbers through csv_num()/std::to_string() and strings
+/// through json_str(). Mirrors CsvWriter's inactive-by-default behavior.
+class JsonlWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlWriter(const std::string& path);
+
+  /// A no-op writer (all objects discarded).
+  JsonlWriter();
+
+  void object(const std::vector<std::pair<std::string, std::string>>& fields);
+
+  /// True if this writer actually writes somewhere.
+  [[nodiscard]] bool active() const { return static_cast<bool>(out_); }
+
+ private:
+  std::unique_ptr<std::ofstream> out_;
+};
+
+/// Encodes `s` as a JSON string literal, quotes included.
+[[nodiscard]] std::string json_str(const std::string& s);
 
 }  // namespace iw

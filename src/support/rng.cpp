@@ -39,6 +39,19 @@ Rng Rng::for_stream(std::uint64_t master_seed, std::uint64_t rank,
   return Rng{a ^ rotl(b, 17) ^ rotl(c, 41)};
 }
 
+Rng Rng::fork(std::uint64_t index) const {
+  // Same construction as for_stream: fold the parent state and the child
+  // index through SplitMix64 so neighboring indices land in decorrelated
+  // regions of the seed space.
+  std::uint64_t sm = s_[0];
+  const std::uint64_t a = splitmix64(sm);
+  sm ^= rotl(s_[1], 29) + 0x632BE59BD9B4E019ULL * (index + 1);
+  const std::uint64_t b = splitmix64(sm);
+  sm ^= rotl(s_[2] ^ s_[3], 47) + index;
+  const std::uint64_t c = splitmix64(sm);
+  return Rng{a ^ rotl(b, 17) ^ rotl(c, 41)};
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -28,6 +28,14 @@ class Rng {
                                       std::uint64_t rank,
                                       std::uint64_t purpose);
 
+  /// Derives the `index`-th child stream from this generator's *current*
+  /// state without advancing it. The result depends only on (state, index),
+  /// never on call order, so a sweep campaign can hand point `i` the stream
+  /// `campaign_rng.fork(i)` from any worker thread and still reproduce the
+  /// single-threaded run exactly. Child streams with different indices are
+  /// statistically independent of each other and of the parent.
+  [[nodiscard]] Rng fork(std::uint64_t index) const;
+
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
 

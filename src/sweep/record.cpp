@@ -1,0 +1,122 @@
+#include "sweep/record.hpp"
+
+#include <utility>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace iw::sweep {
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::vector<RecordField> record_fields(const SweepRecord& rec) {
+  return {
+      {"index", u64(rec.index), false},
+      {"delay_ms", csv_num(rec.delay_ms), false},
+      {"msg_bytes", std::to_string(rec.msg_bytes), false},
+      {"np", std::to_string(rec.np), false},
+      {"ppn", std::to_string(rec.ppn), false},
+      {"noise_E_percent", csv_num(rec.noise_E_percent), false},
+      {"workload", rec.workload, true},
+      {"direction", rec.direction, true},
+      {"boundary", rec.boundary, true},
+      // String-typed: u64 seeds exceed the 2^53 range double-backed JSON
+      // readers preserve, and a rounded seed cannot reproduce its point.
+      {"seed", u64(rec.seed), true},
+      {"protocol", rec.protocol, true},
+      {"v_up_ranks_per_sec", csv_num(rec.v_up_ranks_per_sec), false},
+      {"v_down_ranks_per_sec", csv_num(rec.v_down_ranks_per_sec), false},
+      {"v_eq2_ranks_per_sec", csv_num(rec.v_eq2_ranks_per_sec), false},
+      {"decay_up_us_per_rank", csv_num(rec.decay_up_us_per_rank), false},
+      {"survival_up_hops", std::to_string(rec.survival_up_hops), false},
+      {"survival_down_hops", std::to_string(rec.survival_down_hops), false},
+      {"cycle_us", csv_num(rec.cycle_us), false},
+      {"makespan_ms", csv_num(rec.makespan_ms), false},
+      {"events_processed", u64(rec.events_processed), false},
+      {"peak_events_pending", u64(rec.peak_events_pending), false},
+  };
+}
+
+std::vector<std::string> record_columns() {
+  std::vector<std::string> names;
+  for (const RecordField& f : record_fields(SweepRecord{}))
+    names.push_back(f.name);
+  return names;
+}
+
+SweepRecord reduce(const SweepPoint& point, const core::WaveResult& result) {
+  SweepRecord rec;
+  rec.index = point.index;
+  rec.delay_ms = point.delay_ms;
+  rec.msg_bytes = point.msg_bytes;
+  rec.np = point.np;
+  rec.ppn = point.ppn;
+  rec.noise_E_percent = point.noise_E_percent;
+  rec.workload = to_string(point.workload);
+  rec.direction = to_string(point.direction);
+  rec.boundary = to_string(point.boundary);
+  rec.seed = point.exp.cluster.seed;
+  rec.protocol = result.protocol == mpi::WireProtocol::rendezvous
+                     ? "rendezvous"
+                     : "eager";
+  rec.v_up_ranks_per_sec = result.up.speed_ranks_per_sec;
+  rec.v_down_ranks_per_sec = result.down.speed_ranks_per_sec;
+  rec.v_eq2_ranks_per_sec = result.predicted_speed;
+  rec.decay_up_us_per_rank = result.up.decay_us_per_rank;
+  rec.survival_up_hops = result.up.survival_hops;
+  rec.survival_down_hops = result.down.survival_hops;
+  rec.cycle_us = result.measured_cycle.us();
+  rec.makespan_ms = result.trace.makespan().ms();
+  rec.events_processed = result.events_processed;
+  rec.peak_events_pending = result.peak_events_pending;
+  return rec;
+}
+
+CsvSink::CsvSink(const std::string& path) : writer_(path) {
+  writer_.header(record_columns());
+}
+
+void CsvSink::write(const SweepRecord& rec) {
+  std::vector<std::string> row;
+  for (RecordField& f : record_fields(rec)) row.push_back(std::move(f.value));
+  writer_.row(row);
+}
+
+JsonlSink::JsonlSink(const std::string& path) : writer_(path) {}
+
+void JsonlSink::write(const SweepRecord& rec) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (RecordField& f : record_fields(rec))
+    fields.emplace_back(std::move(f.name),
+                        f.is_string ? json_str(f.value) : std::move(f.value));
+  writer_.object(fields);
+}
+
+std::string render_summary(const std::vector<SweepRecord>& records) {
+  TextTable table;
+  table.columns({"protocol", "points", "median v_up [ranks/s]",
+                 "median decay [us/rank]", "median survival [hops]",
+                 "events total"});
+  for (const char* proto : {"eager", "rendezvous"}) {
+    std::vector<double> v, decay, survival;
+    std::uint64_t events = 0;
+    for (const SweepRecord& r : records) {
+      if (r.protocol != proto) continue;
+      v.push_back(r.v_up_ranks_per_sec);
+      decay.push_back(r.decay_up_us_per_rank);
+      survival.push_back(static_cast<double>(r.survival_up_hops));
+      events += r.events_processed;
+    }
+    if (v.empty()) continue;
+    table.add_row({proto, std::to_string(v.size()), fmt_fixed(median(v), 1),
+                   fmt_fixed(median(decay), 1), fmt_fixed(median(survival), 0),
+                   std::to_string(events)});
+  }
+  if (table.rows() == 0) table.add_row({"(no records)"});
+  return table.render();
+}
+
+}  // namespace iw::sweep

@@ -1,0 +1,112 @@
+// Structured result sinks: one flat record per sweep point.
+//
+// A WaveResult is a heavyweight object (it owns the full trace); campaigns
+// reduce it immediately to the paper's observables plus engine cost
+// counters, and stream the flat records to CSV / JSON-Lines files. Records
+// carry their point index, so partial campaigns (cancelled mid-run) remain
+// self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "support/csv.hpp"
+#include "sweep/spec.hpp"
+
+namespace iw::sweep {
+
+/// The flat per-point record: axis values, wave observables, run costs.
+struct SweepRecord {
+  // Identity and axes.
+  std::uint64_t index = 0;
+  double delay_ms = 0.0;
+  std::int64_t msg_bytes = 0;
+  int np = 0;
+  int ppn = 1;
+  double noise_E_percent = 0.0;
+  std::string workload;
+  std::string direction;
+  std::string boundary;
+  std::uint64_t seed = 0;
+  // Observables.
+  std::string protocol;
+  double v_up_ranks_per_sec = 0.0;
+  double v_down_ranks_per_sec = 0.0;
+  double v_eq2_ranks_per_sec = 0.0;   ///< Eq. 2 prediction
+  double decay_up_us_per_rank = 0.0;  ///< beta toward higher ranks
+  int survival_up_hops = 0;
+  int survival_down_hops = 0;
+  double cycle_us = 0.0;              ///< measured steady-state cycle
+  double makespan_ms = 0.0;
+  // Simulation cost (engine counters).
+  std::uint64_t events_processed = 0;
+  std::uint64_t peak_events_pending = 0;
+};
+
+/// One field of a serialized record. `is_string` selects JSON quoting; CSV
+/// always writes the value verbatim.
+struct RecordField {
+  std::string name;
+  std::string value;
+  bool is_string = false;
+};
+
+/// Serializes a record; the field order is the sink column order.
+[[nodiscard]] std::vector<RecordField> record_fields(const SweepRecord& rec);
+
+/// The sink column names (names of record_fields, in order).
+[[nodiscard]] std::vector<std::string> record_columns();
+
+/// Reduces one finished experiment to its flat record.
+[[nodiscard]] SweepRecord reduce(const SweepPoint& point,
+                                 const core::WaveResult& result);
+
+/// Destination for a stream of records. The campaign runner guarantees
+/// write() is called from one thread at a time, in ascending index order
+/// for the records it delivers.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void write(const SweepRecord& rec) = 0;
+};
+
+/// CSV sink: header row on construction, one row per record.
+class CsvSink final : public RecordSink {
+ public:
+  explicit CsvSink(const std::string& path);
+  void write(const SweepRecord& rec) override;
+
+ private:
+  CsvWriter writer_;
+};
+
+/// JSON-Lines sink: one object per record.
+class JsonlSink final : public RecordSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  void write(const SweepRecord& rec) override;
+
+ private:
+  JsonlWriter writer_;
+};
+
+/// Collects records in memory (tests, summaries).
+class VectorSink final : public RecordSink {
+ public:
+  void write(const SweepRecord& rec) override { records_.push_back(rec); }
+  [[nodiscard]] const std::vector<SweepRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<SweepRecord> records_;
+};
+
+/// Campaign-level summary table: per-protocol medians of speed, decay and
+/// survival, plus total simulation cost. Rendered via TextTable.
+[[nodiscard]] std::string render_summary(
+    const std::vector<SweepRecord>& records);
+
+}  // namespace iw::sweep

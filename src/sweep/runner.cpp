@@ -1,0 +1,120 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace iw::sweep {
+namespace {
+
+/// Shared state of one campaign execution. Workers claim point indices from
+/// an atomic cursor; completion flags and the emit cursor live behind one
+/// mutex (the per-point simulation dwarfs the critical section).
+struct Collector {
+  const std::vector<SweepPoint>& points;
+  const RunnerOptions& options;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};  ///< set with `error`; stops the pool
+  std::mutex mutex;
+  std::vector<SweepRecord> records;
+  std::vector<char> done;
+  std::size_t emitted = 0;    ///< sinks received records [0, emitted)
+  std::size_t completed = 0;  ///< total finished points
+  std::exception_ptr error;
+
+  explicit Collector(const std::vector<SweepPoint>& pts,
+                     const RunnerOptions& opt)
+      : points(pts), options(opt), records(pts.size()), done(pts.size(), 0) {}
+
+  [[nodiscard]] bool cancelled() const {
+    return options.cancel && options.cancel->load(std::memory_order_relaxed);
+  }
+
+  // Must hold `mutex`. Streams the contiguous completed prefix to the sinks.
+  void flush_prefix() {
+    while (emitted < done.size() && done[emitted]) {
+      for (RecordSink* sink : options.sinks) sink->write(records[emitted]);
+      ++emitted;
+    }
+  }
+
+  void worker() {
+    for (;;) {
+      // A failed point poisons the campaign; don't burn wall-clock
+      // simulating points whose records can never be delivered.
+      if (cancelled() || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      try {
+        SweepRecord rec =
+            reduce(points[i], core::run_wave_experiment(points[i].exp));
+        std::lock_guard<std::mutex> lock(mutex);
+        records[i] = std::move(rec);
+        done[i] = 1;
+        ++completed;
+        flush_prefix();
+        if (options.on_progress) options.on_progress(completed, points.size());
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CampaignResult run_campaign(const std::vector<SweepPoint>& points,
+                            const RunnerOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  Collector collector(points, options);
+
+  const int threads = std::clamp<int>(
+      options.threads, 1,
+      std::max<int>(1, static_cast<int>(points.size())));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  try {
+    for (int t = 0; t < threads; ++t)
+      pool.emplace_back([&collector] { collector.worker(); });
+  } catch (...) {
+    // Thread creation failed (e.g. OS thread limit). Stop the workers that
+    // did start and join them before propagating — destroying a joinable
+    // std::thread would std::terminate.
+    collector.failed.store(true, std::memory_order_relaxed);
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+  for (std::thread& t : pool) t.join();
+
+  if (collector.error) std::rethrow_exception(collector.error);
+
+  // A cancelled campaign may have completed points beyond an unfinished
+  // one; deliver them too (still in index order) so no finished work is
+  // lost. Normal completion has already flushed everything.
+  CampaignResult result;
+  result.total_points = points.size();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!collector.done[i]) continue;
+    if (i >= collector.emitted)
+      for (RecordSink* sink : options.sinks) sink->write(collector.records[i]);
+    result.records.push_back(std::move(collector.records[i]));
+  }
+  result.cancelled = result.records.size() < points.size();
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+CampaignResult run_campaign(const SweepSpec& spec,
+                            const RunnerOptions& options) {
+  return run_campaign(expand(spec), options);
+}
+
+}  // namespace iw::sweep

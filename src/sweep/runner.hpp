@@ -1,0 +1,62 @@
+// Sharded campaign runner: a worker pool over expanded sweep points.
+//
+// Each point is an independent single-shot simulation whose RNG seed was
+// fixed at expansion time, so workers can claim points in any order without
+// perturbing results. Completed records are delivered to the sinks in
+// ascending point order (a contiguous-prefix cursor advances as workers
+// finish), which makes an N-thread campaign byte-identical to the
+// single-threaded one. Cancellation stops workers at the next point
+// boundary; every record completed before the stop is still delivered.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sweep/record.hpp"
+#include "sweep/spec.hpp"
+
+namespace iw::sweep {
+
+struct RunnerOptions {
+  /// Worker threads; clamped to [1, points]. The worker pool is used even
+  /// for threads = 1 so both configurations run the same code path.
+  int threads = 1;
+  /// Called after each completed point with (completed, total), serialized
+  /// under the collector lock. Cheap callbacks only.
+  std::function<void(std::size_t, std::size_t)> on_progress;
+  /// Optional cancellation flag. Workers stop claiming points once it reads
+  /// true; in-flight points run to completion and are delivered.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Record destinations. write() is invoked in ascending index order, one
+  /// record at a time — from worker threads under the collector lock while
+  /// the campaign runs, and from the calling thread (after all workers have
+  /// joined) for records a cancellation left beyond the streamed prefix.
+  std::vector<RecordSink*> sinks;
+};
+
+struct CampaignResult {
+  /// Records of all completed points, in point order. A full run has
+  /// exactly total_points entries; a cancelled run may have gaps (records
+  /// carry their index).
+  std::vector<SweepRecord> records;
+  std::size_t total_points = 0;
+  bool cancelled = false;
+  double seconds = 0.0;  ///< wall-clock time of the campaign
+
+  [[nodiscard]] double points_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(records.size()) / seconds : 0.0;
+  }
+};
+
+/// Runs all `points` through the pool described by `options`.
+/// Rethrows the first worker exception (after joining every thread).
+[[nodiscard]] CampaignResult run_campaign(const std::vector<SweepPoint>& points,
+                                          const RunnerOptions& options = {});
+
+/// Convenience: expand + run.
+[[nodiscard]] CampaignResult run_campaign(const SweepSpec& spec,
+                                          const RunnerOptions& options = {});
+
+}  // namespace iw::sweep

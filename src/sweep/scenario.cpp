@@ -1,0 +1,123 @@
+#include "sweep/scenario.hpp"
+
+namespace iw::sweep {
+namespace {
+
+Scenario speed_vs_delay() {
+  Scenario s;
+  s.name = "speed_vs_delay";
+  s.summary =
+      "wave speed is independent of delay magnitude, for both protocols "
+      "and directions";
+  s.paper_ref = "Fig. 7 / Sec. IV-A";
+  s.spec.delay_ms = {4,  6,  8,  10, 12, 14, 16,
+                     18, 20, 22, 24, 26, 28};
+  s.spec.msg_bytes = {16384, 174080};  // eager vs rendezvous
+  s.spec.direction = {workload::Direction::unidirectional,
+                      workload::Direction::bidirectional};
+  s.spec.np = {18};
+  s.spec.steps = 18;
+  return s;  // 13 * 2 * 2 = 52 points
+}
+
+Scenario decay_vs_size() {
+  Scenario s;
+  s.name = "decay_vs_size";
+  s.summary =
+      "decay rate beta grows with noise level and shrinks with message size";
+  s.paper_ref = "Fig. 8 / Sec. V-A";
+  s.spec.delay_ms = {12};
+  s.spec.msg_bytes = {4096, 16384, 65536, 262144, 1048576};
+  s.spec.noise_E_percent = {5, 10, 20};
+  s.spec.np = {24};
+  s.spec.steps = 24;
+  return s;  // 15 points
+}
+
+Scenario eager_rendezvous_crossover() {
+  Scenario s;
+  s.name = "eager_rendezvous_crossover";
+  s.summary =
+      "protocol flip at the 128 KiB eager limit changes wave speed and "
+      "back-propagation";
+  s.paper_ref = "Fig. 5 / Sec. IV-C";
+  s.spec.delay_ms = {15};
+  // Straddles the InfiniBand eager_limit_bytes = 131072.
+  s.spec.msg_bytes = {32768, 65536, 98304, 131072, 163840, 262144};
+  s.spec.direction = {workload::Direction::unidirectional,
+                      workload::Direction::bidirectional};
+  s.spec.boundary = {workload::Boundary::open, workload::Boundary::periodic};
+  s.spec.np = {16};
+  s.spec.steps = 16;
+  return s;  // 24 points
+}
+
+Scenario ppn_contrast() {
+  Scenario s;
+  s.name = "ppn_contrast";
+  s.summary =
+      "one rank per node vs packed sockets: placement changes cycle time "
+      "and wave speed";
+  s.paper_ref = "Sec. IV (PPN=1 vs PPN=10)";
+  s.spec.delay_ms = {6, 12, 18, 24};
+  s.spec.ppn = {1, 10};
+  s.spec.np = {20};
+  s.spec.steps = 20;
+  return s;  // 8 points
+}
+
+Scenario noise_damping() {
+  Scenario s;
+  s.name = "noise_damping";
+  s.summary =
+      "injected fine-grained noise damps idle waves: survival shrinks as E "
+      "grows";
+  s.paper_ref = "Sec. V / Fig. 9";
+  s.spec.delay_ms = {6, 12, 24};
+  s.spec.noise_E_percent = {0, 5, 10, 20, 30, 50};
+  s.spec.np = {20};
+  s.spec.direction = {workload::Direction::bidirectional};
+  s.spec.boundary = {workload::Boundary::periodic};
+  s.spec.steps = 24;
+  s.spec.min_idle = milliseconds(3.0);
+  return s;  // 18 points
+}
+
+Scenario grid2d_wave() {
+  Scenario s;
+  s.name = "grid2d_wave";
+  s.summary =
+      "2-D halo exchange: the wave front expands one Manhattan hop per "
+      "cycle (diamond contours)";
+  s.paper_ref = "Sec. II-C2b extension";
+  s.spec.workload = Workload::grid2d;
+  s.spec.delay_ms = {10, 14};
+  s.spec.np = {25, 49, 81};  // 5x5, 7x7, 9x9 grids
+  s.spec.steps = 22;
+  s.spec.texec = milliseconds(2.0);
+  return s;  // 6 points
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_catalog() {
+  static const std::vector<Scenario> catalog = {
+      speed_vs_delay(),   decay_vs_size(), eager_rendezvous_crossover(),
+      ppn_contrast(),     noise_damping(), grid2d_wave(),
+  };
+  return catalog;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : scenario_catalog())
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const Scenario& s : scenario_catalog()) names.push_back(s.name);
+  return names;
+}
+
+}  // namespace iw::sweep

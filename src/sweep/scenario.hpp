@@ -1,0 +1,32 @@
+// Scenario registry: the paper's figures as named, self-describing sweeps.
+//
+// A scenario is a SweepSpec with a name, a one-line summary, and the paper
+// reference it reproduces. The catalog is the single source of truth for
+// the sweep_runner CLI, the perf_sweep bench, and the CI smoke campaign;
+// axis values can still be overridden per invocation before expansion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/spec.hpp"
+
+namespace iw::sweep {
+
+struct Scenario {
+  std::string name;
+  std::string summary;    ///< what the sweep demonstrates
+  std::string paper_ref;  ///< figure / section it reproduces
+  SweepSpec spec;
+};
+
+/// All registered scenarios, in catalog order. Names are unique.
+[[nodiscard]] const std::vector<Scenario>& scenario_catalog();
+
+/// Looks a scenario up by name; nullptr when unknown.
+[[nodiscard]] const Scenario* find_scenario(const std::string& name);
+
+/// The catalog's names, in order (CLI help, error messages).
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+}  // namespace iw::sweep

@@ -1,0 +1,122 @@
+#include "sweep/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workload/delay.hpp"
+
+namespace iw::sweep {
+namespace {
+
+/// Exact integer square root of np for grid2d sweeps.
+int grid_side(int np) {
+  const int side = static_cast<int>(std::lround(std::sqrt(np)));
+  IW_REQUIRE(side > 0 && side * side == np,
+             "grid2d sweep needs a square rank count");
+  return side;
+}
+
+core::WaveExperiment build_experiment(const SweepSpec& spec,
+                                      const SweepPoint& pt) {
+  core::WaveExperiment exp;
+  int inj_rank = 0;
+  if (spec.workload == Workload::grid2d) {
+    workload::Grid2DSpec grid;
+    grid.px = grid.py = grid_side(pt.np);
+    grid.boundary = pt.boundary;
+    grid.msg_bytes = pt.msg_bytes;
+    grid.steps = spec.steps;
+    grid.texec = spec.texec;
+    inj_rank = workload::grid_rank(grid, grid.px / 2, grid.py / 2);
+    exp.cluster.topo = pt.ppn <= 1
+                           ? net::TopologySpec::one_rank_per_node(pt.np)
+                           : net::TopologySpec::packed(pt.np, pt.ppn);
+    exp.grid = grid;
+  } else {
+    workload::RingSpec ring;
+    ring.ranks = pt.np;
+    ring.direction = pt.direction;
+    ring.boundary = pt.boundary;
+    ring.distance = spec.distance;
+    ring.msg_bytes = pt.msg_bytes;
+    ring.steps = spec.steps;
+    ring.texec = spec.texec;
+    inj_rank = static_cast<int>(spec.injection_at *
+                                static_cast<double>(pt.np));
+    inj_rank = std::clamp(inj_rank, 0, pt.np - 1);
+    exp.ring = ring;
+    exp.cluster = core::cluster_for_ring(ring, pt.ppn <= 1, pt.ppn);
+  }
+
+  if (spec.system_noise != "none")
+    exp.cluster.system_noise = noise::NoiseSpec::system(spec.system_noise);
+  if (pt.delay_ms > 0.0)
+    exp.delays = workload::single_delay(inj_rank, spec.injection_step,
+                                        milliseconds(pt.delay_ms));
+  if (pt.noise_E_percent > 0.0)
+    exp.injected_noise = noise::NoiseSpec::exponential(
+        Duration{static_cast<std::int64_t>(
+            static_cast<double>(spec.texec.ns()) * pt.noise_E_percent /
+                100.0 +
+            0.5)});
+  exp.min_idle = spec.min_idle;
+  return exp;
+}
+
+}  // namespace
+
+std::size_t SweepSpec::points() const {
+  return delay_ms.size() * msg_bytes.size() * np.size() * ppn.size() *
+         noise_E_percent.size() * direction.size() * boundary.size();
+}
+
+std::vector<SweepPoint> expand(const SweepSpec& spec) {
+  IW_REQUIRE(!spec.delay_ms.empty() && !spec.msg_bytes.empty() &&
+                 !spec.np.empty() && !spec.ppn.empty() &&
+                 !spec.noise_E_percent.empty() && !spec.direction.empty() &&
+                 !spec.boundary.empty(),
+             "every sweep axis needs at least one value");
+  IW_REQUIRE(spec.steps > 0, "sweep steps must be positive");
+  // 4-neighbor halo exchange has no uni/bidirectional flavor; a multi-valued
+  // direction axis would silently duplicate grid points under distinct
+  // labels.
+  IW_REQUIRE(spec.workload == Workload::ring || spec.direction.size() == 1,
+             "grid2d sweeps take no direction axis");
+  for (const int n : spec.np) IW_REQUIRE(n > 1, "sweep np must exceed 1");
+  for (const int k : spec.ppn) IW_REQUIRE(k > 0, "sweep ppn must be positive");
+
+  const Rng campaign(spec.campaign_seed);
+  std::vector<SweepPoint> points;
+  points.reserve(spec.points());
+  for (const double delay : spec.delay_ms)
+    for (const std::int64_t bytes : spec.msg_bytes)
+      for (const int n : spec.np)
+        for (const int k : spec.ppn)
+          for (const double noise_E : spec.noise_E_percent)
+            for (const auto dir : spec.direction)
+              for (const auto bound : spec.boundary) {
+                SweepPoint pt;
+                pt.index = points.size();
+                pt.delay_ms = delay;
+                pt.msg_bytes = bytes;
+                pt.np = n;
+                pt.ppn = k;
+                pt.noise_E_percent = noise_E;
+                pt.direction = dir;
+                pt.boundary = bound;
+                pt.workload = spec.workload;
+                pt.exp = build_experiment(spec, pt);
+                // fork() is order-independent, so the seed of point i is a
+                // pure function of (campaign_seed, i) — the key to
+                // thread-count-invariant campaigns.
+                pt.exp.cluster.seed =
+                    campaign.fork(static_cast<std::uint64_t>(pt.index))
+                        .next_u64();
+                points.push_back(std::move(pt));
+              }
+  return points;
+}
+
+}  // namespace iw::sweep

@@ -1,0 +1,89 @@
+// Declarative sweep specifications: the paper's parameter scans as data.
+//
+// Every quantitative result in the paper is a scan — delay magnitude,
+// message size, rank count, ranks-per-node, noise level — over dozens of
+// configurations. A SweepSpec names the axes once; expand() takes their
+// Cartesian product and materializes one fully-seeded WaveExperiment per
+// grid point. Expansion is deterministic: point `i` always receives the
+// same experiment (including its RNG seed, split off the campaign seed via
+// Rng::fork(i)), so any execution order — one thread or many — reproduces
+// the same campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "support/time.hpp"
+#include "workload/ring.hpp"
+
+namespace iw::sweep {
+
+/// Which workload builder the sweep points use.
+enum class Workload : std::uint8_t { ring, grid2d };
+
+[[nodiscard]] constexpr const char* to_string(Workload w) {
+  return w == Workload::ring ? "ring" : "grid2d";
+}
+
+/// Axes (vectors, each must stay non-empty) and shared scalars of one
+/// campaign. The Cartesian product is enumerated with the delay axis
+/// slowest and the boundary axis fastest, in declaration order.
+struct SweepSpec {
+  // --- axes ---------------------------------------------------------------
+  std::vector<double> delay_ms = {12.0};        ///< one-off delay magnitude
+  std::vector<std::int64_t> msg_bytes = {8192};  ///< point-to-point size
+  std::vector<int> np = {18};                   ///< total ranks
+  /// Ranks per node: 1 = one rank per node (paper's PPN=1 baseline),
+  /// k > 1 = packed placement with k ranks per socket.
+  std::vector<int> ppn = {1};
+  /// Injected fine-grained exponential noise, mean as percent of texec
+  /// (the paper's E parameter); 0 = no injected noise.
+  std::vector<double> noise_E_percent = {0.0};
+  /// Ring-only axis (halo exchange has no uni/bi flavor); grid2d sweeps
+  /// must leave it single-valued.
+  std::vector<workload::Direction> direction = {
+      workload::Direction::unidirectional};
+  std::vector<workload::Boundary> boundary = {workload::Boundary::open};
+
+  // --- scalars ------------------------------------------------------------
+  Workload workload = Workload::ring;
+  int steps = 20;
+  Duration texec = milliseconds(3.0);
+  int distance = 1;                   ///< ring neighbor distance d
+  int injection_step = 0;
+  /// Injection rank as a fraction of np (ring) — np/3 keeps both wave
+  /// branches visible on open chains. Grid points always inject at the
+  /// grid center instead.
+  double injection_at = 1.0 / 3.0;
+  Duration min_idle = milliseconds(0.5);
+  /// Natural system noise profile ("none", "emmy-smt-on", ...).
+  std::string system_noise = "emmy-smt-on";
+  std::uint64_t campaign_seed = 0x5EEDCA3Bull;
+
+  /// Number of grid points (product of axis lengths).
+  [[nodiscard]] std::size_t points() const;
+};
+
+/// One expanded point: the axis values it was built from plus the
+/// ready-to-run experiment.
+struct SweepPoint {
+  std::size_t index = 0;
+  double delay_ms = 0.0;
+  std::int64_t msg_bytes = 0;
+  int np = 0;
+  int ppn = 1;
+  double noise_E_percent = 0.0;
+  workload::Direction direction = workload::Direction::unidirectional;
+  workload::Boundary boundary = workload::Boundary::open;
+  Workload workload = Workload::ring;
+  core::WaveExperiment exp;
+};
+
+/// Expands the Cartesian product of the axes. Throws std::invalid_argument
+/// on empty axes, non-positive np/steps, or (for grid2d sweeps) np values
+/// without an exact square root.
+[[nodiscard]] std::vector<SweepPoint> expand(const SweepSpec& spec);
+
+}  // namespace iw::sweep

@@ -1,0 +1,84 @@
+// Tests for comma-separated list parsing of sweep axes (`--np=4,8,16`).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "support/cli.hpp"
+
+namespace iw {
+namespace {
+
+TEST(CliList, ParsesInt64List) {
+  const char* argv[] = {"prog", "--np=4,8,16"};
+  const Cli cli(2, argv);
+  const auto np = cli.get_list_or("np", std::vector<std::int64_t>{});
+  ASSERT_EQ(np.size(), 3u);
+  EXPECT_EQ(np[0], 4);
+  EXPECT_EQ(np[1], 8);
+  EXPECT_EQ(np[2], 16);
+}
+
+TEST(CliList, ParsesDoubleList) {
+  const char* argv[] = {"prog", "--delay-ms=0.5,2,12.25"};
+  const Cli cli(2, argv);
+  const auto delays = cli.get_list_or("delay-ms", std::vector<double>{});
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_DOUBLE_EQ(delays[0], 0.5);
+  EXPECT_DOUBLE_EQ(delays[1], 2.0);
+  EXPECT_DOUBLE_EQ(delays[2], 12.25);
+}
+
+TEST(CliList, SingleElementAndSpaceForm) {
+  const char* argv[] = {"prog", "--np", "42"};
+  const Cli cli(3, argv);
+  const auto np = cli.get_list_or("np", std::vector<std::int64_t>{});
+  ASSERT_EQ(np.size(), 1u);
+  EXPECT_EQ(np[0], 42);
+}
+
+TEST(CliList, AbsentFlagYieldsFallback) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  const auto np =
+      cli.get_list_or("np", std::vector<std::int64_t>{7, 9});
+  ASSERT_EQ(np.size(), 2u);
+  EXPECT_EQ(np[0], 7);
+  EXPECT_EQ(np[1], 9);
+  const auto d = cli.get_list_or("delay", std::vector<double>{1.5});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 1.5);
+}
+
+TEST(CliList, NegativeValues) {
+  const char* argv[] = {"prog", "--shift=-3,-1"};
+  const Cli cli(2, argv);
+  const auto shift = cli.get_list_or("shift", std::vector<std::int64_t>{});
+  ASSERT_EQ(shift.size(), 2u);
+  EXPECT_EQ(shift[0], -3);
+  EXPECT_EQ(shift[1], -1);
+}
+
+TEST(CliList, RejectsMalformedLists) {
+  const auto parse_i64 = [](const char* value) {
+    const char* argv[] = {"prog", value};
+    const Cli cli(2, argv);
+    return cli.get_list_or("x", std::vector<std::int64_t>{});
+  };
+  EXPECT_THROW(parse_i64("--x=4,,8"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("--x=4,8,"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("--x=,4"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("--x=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("--x=4,8q"), std::invalid_argument);
+  // Fractional input is not a valid int64 element.
+  EXPECT_THROW(parse_i64("--x=4.5"), std::invalid_argument);
+}
+
+TEST(CliList, UnknownFlagCheckingStillApplies) {
+  const char* argv[] = {"prog", "--np=4,8"};
+  const Cli cli(2, argv);
+  EXPECT_NO_THROW(cli.allow_only({"np"}));
+  EXPECT_THROW(cli.allow_only({"ranks"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iw

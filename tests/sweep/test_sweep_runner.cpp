@@ -1,0 +1,226 @@
+// Tests for the sharded campaign runner and the structured result sinks:
+// thread-count invariance (byte-identical CSV/JSONL), in-order streaming,
+// cancellation without loss of completed records, and record reduction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/record.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace iw::sweep {
+namespace {
+
+/// A small but non-trivial campaign: 12 points over three axes, cheap
+/// enough that the full suite stays fast.
+SweepSpec tiny_campaign() {
+  SweepSpec spec;
+  spec.delay_ms = {6, 12};
+  spec.msg_bytes = {8192, 262144};
+  spec.noise_E_percent = {0, 10};
+  spec.np = {8};
+  spec.steps = 8;
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Records indices in arrival order (the runner serializes write() calls).
+class IndexSink final : public RecordSink {
+ public:
+  void write(const SweepRecord& rec) override {
+    indices.push_back(rec.index);
+  }
+  std::vector<std::uint64_t> indices;
+};
+
+TEST(SweepRunner, EightThreadsProduceByteIdenticalCsvAndJsonl) {
+  const auto points = expand(tiny_campaign());
+  const std::string csv1 = "sweep_t1.tmp.csv", csv8 = "sweep_t8.tmp.csv";
+  const std::string jl1 = "sweep_t1.tmp.jsonl", jl8 = "sweep_t8.tmp.jsonl";
+
+  for (const int threads : {1, 8}) {
+    CsvSink csv(threads == 1 ? csv1 : csv8);
+    JsonlSink jsonl(threads == 1 ? jl1 : jl8);
+    RunnerOptions options;
+    options.threads = threads;
+    options.sinks = {&csv, &jsonl};
+    const CampaignResult result = run_campaign(points, options);
+    EXPECT_EQ(result.records.size(), points.size());
+    EXPECT_FALSE(result.cancelled);
+  }
+
+  const std::string a = slurp(csv1), b = slurp(csv8);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  const std::string c = slurp(jl1), d = slurp(jl8);
+  EXPECT_FALSE(c.empty());
+  EXPECT_EQ(c, d);
+  for (const auto& path : {csv1, csv8, jl1, jl8}) std::remove(path.c_str());
+}
+
+TEST(SweepRunner, RecordsArriveAtSinksInPointOrder) {
+  const auto points = expand(tiny_campaign());
+  IndexSink sink;
+  RunnerOptions options;
+  options.threads = 8;
+  options.sinks = {&sink};
+  const CampaignResult result = run_campaign(points, options);
+  ASSERT_EQ(sink.indices.size(), points.size());
+  for (std::size_t i = 0; i < sink.indices.size(); ++i)
+    EXPECT_EQ(sink.indices[i], i);
+  for (std::size_t i = 0; i < result.records.size(); ++i)
+    EXPECT_EQ(result.records[i].index, i);
+}
+
+TEST(SweepRunner, ProgressReportsEveryCompletionUpToTotal) {
+  const auto points = expand(tiny_campaign());
+  std::vector<std::size_t> seen;
+  RunnerOptions options;
+  options.threads = 3;
+  options.on_progress = [&seen, &points](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, points.size());
+    seen.push_back(done);
+  };
+  (void)run_campaign(points, options);
+  ASSERT_EQ(seen.size(), points.size());
+  // Completion counts are strictly increasing and end at the total.
+  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_GT(seen[i], seen[i - 1]);
+  EXPECT_EQ(seen.back(), points.size());
+}
+
+TEST(SweepRunner, CancellationKeepsEveryCompletedRecord) {
+  const auto points = expand(tiny_campaign());
+
+  // Reference: the full run, for comparing per-point content.
+  const CampaignResult full = run_campaign(points, RunnerOptions{});
+  ASSERT_EQ(full.records.size(), points.size());
+
+  std::atomic<bool> cancel{false};
+  IndexSink sink;
+  RunnerOptions options;
+  options.threads = 2;
+  options.cancel = &cancel;
+  options.sinks = {&sink};
+  options.on_progress = [&cancel](std::size_t done, std::size_t) {
+    if (done >= 5) cancel.store(true);
+  };
+  const CampaignResult result = run_campaign(points, options);
+
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_GE(result.records.size(), 5u);
+  EXPECT_LT(result.records.size(), points.size());
+  // Every completed record reached the sink, in ascending order, and its
+  // content matches the uncancelled run of the same point bit-for-bit.
+  ASSERT_EQ(sink.indices.size(), result.records.size());
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(sink.indices[i], result.records[i].index);
+    if (i > 0) {
+      EXPECT_GT(result.records[i].index, result.records[i - 1].index);
+    }
+    const SweepRecord& got = result.records[i];
+    const SweepRecord& want = full.records[got.index];
+    EXPECT_EQ(record_fields(got).size(), record_fields(want).size());
+    const auto gf = record_fields(got);
+    const auto wf = record_fields(want);
+    for (std::size_t f = 0; f < gf.size(); ++f)
+      EXPECT_EQ(gf[f].value, wf[f].value) << gf[f].name;
+  }
+}
+
+TEST(SweepRunner, FailedPointRethrowsAndOnlyPrefixReachesSinks) {
+  auto points = expand(tiny_campaign());
+  // Poison point 2: a delay rank outside the ring makes build_ring throw.
+  points[2].exp.delays.front().rank = 999;
+
+  IndexSink sink;
+  RunnerOptions options;
+  options.threads = 4;
+  options.sinks = {&sink};
+  EXPECT_THROW((void)run_campaign(points, options), std::invalid_argument);
+  // The sinks saw an untruncated prefix: nothing past the poisoned index.
+  for (std::size_t i = 0; i < sink.indices.size(); ++i) {
+    EXPECT_EQ(sink.indices[i], i);
+    EXPECT_LT(sink.indices[i], 2u);
+  }
+}
+
+TEST(SweepRunner, PreCancelledCampaignCompletesNothing) {
+  const auto points = expand(tiny_campaign());
+  std::atomic<bool> cancel{true};
+  RunnerOptions options;
+  options.threads = 4;
+  options.cancel = &cancel;
+  const CampaignResult result = run_campaign(points, options);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.total_points, points.size());
+}
+
+TEST(SweepRunner, ThreadCountInvarianceHoldsForGridCampaigns) {
+  SweepSpec spec;
+  spec.workload = Workload::grid2d;
+  spec.delay_ms = {10};
+  spec.np = {25};
+  spec.steps = 10;
+  const auto points = expand(spec);
+
+  RunnerOptions opt1, opt4;
+  opt4.threads = 4;
+  const auto r1 = run_campaign(points, opt1);
+  const auto r4 = run_campaign(points, opt4);
+  ASSERT_EQ(r1.records.size(), r4.records.size());
+  for (std::size_t i = 0; i < r1.records.size(); ++i) {
+    const auto a = record_fields(r1.records[i]);
+    const auto b = record_fields(r4.records[i]);
+    for (std::size_t f = 0; f < a.size(); ++f)
+      EXPECT_EQ(a[f].value, b[f].value) << a[f].name;
+  }
+}
+
+TEST(SweepRecord, ReduceCarriesAxesAndObservables) {
+  SweepSpec spec = tiny_campaign();
+  spec.delay_ms = {12};
+  spec.msg_bytes = {262144};  // above the 128 KiB limit -> rendezvous
+  spec.noise_E_percent = {0};
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  const CampaignResult result = run_campaign(points, RunnerOptions{});
+  ASSERT_EQ(result.records.size(), 1u);
+  const SweepRecord& rec = result.records.front();
+  EXPECT_EQ(rec.protocol, "rendezvous");
+  EXPECT_EQ(rec.np, 8);
+  EXPECT_DOUBLE_EQ(rec.delay_ms, 12.0);
+  EXPECT_GT(rec.v_up_ranks_per_sec, 0.0);
+  EXPECT_GT(rec.events_processed, 0u);
+  EXPECT_GT(rec.makespan_ms, 0.0);
+  EXPECT_GT(rec.cycle_us, 0.0);
+  // Column list and field list stay aligned.
+  const auto columns = record_columns();
+  const auto fields = record_fields(rec);
+  ASSERT_EQ(columns.size(), fields.size());
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    EXPECT_EQ(columns[i], fields[i].name);
+}
+
+TEST(SweepRecord, SummaryRendersPerProtocolRows) {
+  const auto result = run_campaign(expand(tiny_campaign()), RunnerOptions{});
+  const std::string summary = render_summary(result.records);
+  EXPECT_NE(summary.find("eager"), std::string::npos);
+  EXPECT_NE(summary.find("rendezvous"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iw::sweep

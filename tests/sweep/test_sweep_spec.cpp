@@ -1,0 +1,159 @@
+// Tests for sweep-spec expansion and the scenario registry.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "sweep/scenario.hpp"
+#include "sweep/spec.hpp"
+
+namespace iw::sweep {
+namespace {
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.delay_ms = {6, 12};
+  spec.msg_bytes = {8192, 262144};
+  spec.np = {8};
+  spec.noise_E_percent = {0, 10};
+  spec.steps = 8;
+  spec.system_noise = "none";
+  return spec;
+}
+
+TEST(SweepSpec, PointCountIsAxisProduct) {
+  const SweepSpec spec = tiny_spec();
+  EXPECT_EQ(spec.points(), 8u);
+  EXPECT_EQ(expand(spec).size(), 8u);
+}
+
+TEST(SweepSpec, IndicesAreSequentialAndAxesEnumerate) {
+  const auto points = expand(tiny_spec());
+  std::set<std::tuple<double, std::int64_t, double>> combos;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    combos.insert({points[i].delay_ms, points[i].msg_bytes,
+                   points[i].noise_E_percent});
+  }
+  EXPECT_EQ(combos.size(), points.size());  // every combination distinct
+}
+
+TEST(SweepSpec, ExpansionIsDeterministicWithDistinctSeeds) {
+  const auto a = expand(tiny_spec());
+  const auto b = expand(tiny_spec());
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].exp.cluster.seed, b[i].exp.cluster.seed);
+    seeds.insert(a[i].exp.cluster.seed);
+  }
+  // Every point owns an independent stream.
+  EXPECT_EQ(seeds.size(), a.size());
+
+  SweepSpec other = tiny_spec();
+  other.campaign_seed ^= 0xABCD;
+  const auto c = expand(other);
+  EXPECT_NE(c.front().exp.cluster.seed, a.front().exp.cluster.seed);
+}
+
+TEST(SweepSpec, ExperimentsReflectAxisValues) {
+  const auto points = expand(tiny_spec());
+  for (const SweepPoint& pt : points) {
+    EXPECT_EQ(pt.exp.ring.ranks, pt.np);
+    EXPECT_EQ(pt.exp.ring.msg_bytes, pt.msg_bytes);
+    ASSERT_EQ(pt.exp.delays.size(), 1u);
+    EXPECT_NEAR(pt.exp.delays.front().duration.ms(), pt.delay_ms, 1e-9);
+    // np/3 injection keeps both branches visible on the open chain.
+    EXPECT_EQ(pt.exp.delays.front().rank, pt.np / 3);
+    if (pt.noise_E_percent > 0)
+      EXPECT_EQ(pt.exp.injected_noise.kind,
+                noise::NoiseSpec::Kind::exponential);
+    else
+      EXPECT_EQ(pt.exp.injected_noise.kind, noise::NoiseSpec::Kind::none);
+  }
+}
+
+TEST(SweepSpec, PpnAxisSwitchesPlacement) {
+  SweepSpec spec = tiny_spec();
+  spec.delay_ms = {12};
+  spec.msg_bytes = {8192};
+  spec.noise_E_percent = {0};
+  spec.np = {20};
+  spec.ppn = {1, 10};
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 2u);
+  // PPN=1: one node per rank; PPN=10: ten ranks share each socket.
+  EXPECT_NE(net::Topology(points[0].exp.cluster.topo).nodes(),
+            net::Topology(points[1].exp.cluster.topo).nodes());
+}
+
+TEST(SweepSpec, Grid2dExpansionBuildsCenterInjectedGrids) {
+  SweepSpec spec;
+  spec.workload = Workload::grid2d;
+  spec.delay_ms = {10};
+  spec.np = {25};
+  spec.steps = 12;
+  spec.system_noise = "none";
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_TRUE(points[0].exp.grid.has_value());
+  EXPECT_EQ(points[0].exp.grid->px, 5);
+  EXPECT_EQ(points[0].exp.grid->py, 5);
+  // Center of a 5x5 grid is (2, 2) -> rank 12 row-major.
+  ASSERT_EQ(points[0].exp.delays.size(), 1u);
+  EXPECT_EQ(points[0].exp.delays.front().rank, 12);
+}
+
+TEST(SweepSpec, RejectsBadInput) {
+  SweepSpec spec = tiny_spec();
+  spec.delay_ms.clear();
+  EXPECT_THROW((void)expand(spec), std::invalid_argument);
+
+  spec = tiny_spec();
+  spec.np = {0};
+  EXPECT_THROW((void)expand(spec), std::invalid_argument);
+
+  spec = tiny_spec();
+  spec.workload = Workload::grid2d;
+  spec.np = {24};  // not a perfect square
+  EXPECT_THROW((void)expand(spec), std::invalid_argument);
+
+  spec = tiny_spec();
+  spec.workload = Workload::grid2d;
+  spec.np = {16};
+  spec.direction = {workload::Direction::unidirectional,
+                    workload::Direction::bidirectional};
+  // Halo exchange has no direction flavor; a multi-valued axis would
+  // duplicate points under distinct labels.
+  EXPECT_THROW((void)expand(spec), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, CatalogHasUniqueFindableNames) {
+  const auto& catalog = scenario_catalog();
+  ASSERT_FALSE(catalog.empty());
+  std::set<std::string> names;
+  for (const Scenario& s : catalog) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate: " << s.name;
+    EXPECT_EQ(find_scenario(s.name), &s);
+    EXPECT_FALSE(s.summary.empty());
+    EXPECT_FALSE(s.paper_ref.empty());
+  }
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+  EXPECT_EQ(scenario_names().size(), catalog.size());
+}
+
+TEST(ScenarioRegistry, EveryScenarioExpands) {
+  for (const Scenario& s : scenario_catalog()) {
+    const auto points = expand(s.spec);
+    EXPECT_EQ(points.size(), s.spec.points()) << s.name;
+    EXPECT_GE(points.size(), 1u) << s.name;
+  }
+}
+
+TEST(ScenarioRegistry, SpeedVsDelayIsACampaignScaleScenario) {
+  const Scenario* s = find_scenario("speed_vs_delay");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GE(s->spec.points(), 50u);
+}
+
+}  // namespace
+}  // namespace iw::sweep
