@@ -115,14 +115,32 @@ int bench_main(int argc, char** argv) {
   const double base = base_run->points_per_sec;
   bool deterministic = reps_deterministic;
   double max_speedup = 0.0;
+  std::int64_t max_threads = 1;
   for (const Run& r : runs) {
     deterministic = deterministic && r.checksum == base_run->checksum;
     if (base > 0) max_speedup = std::max(max_speedup, r.points_per_sec / base);
+    max_threads = std::max<std::int64_t>(max_threads, r.threads);
   }
   std::cout << "\nmax speedup vs " << base_run->threads
             << " thread(s): " << max_speedup
             << "x, deterministic across thread counts: "
             << (deterministic ? "yes" : "NO") << "\n";
+
+  // A box with fewer cores than the widest run cannot measure parallel
+  // scaling — the speedup column is then noise around 1.0 and must not be
+  // checked in as a baseline. The flag makes such artifacts self-describing.
+  const unsigned hc = std::thread::hardware_concurrency();
+  const bool valid_parallel_baseline =
+      hc >= static_cast<unsigned>(max_threads);
+  if (!valid_parallel_baseline) {
+    std::cout << "\n*** WARNING: this machine has " << hc
+              << " hardware thread(s) but the widest run used " << max_threads
+              << " workers.\n*** The speedup column is MEANINGLESS here; do "
+                 "not use this artifact as a scaling baseline\n*** "
+                 "(summary.valid_parallel_baseline = false). Regenerate on a "
+                 "machine with >= " << max_threads << " cores (e.g. the CI "
+                 "runner artifact).\n";
+  }
 
   std::ofstream out(json_path);
   if (!out) throw std::runtime_error("cannot write " + json_path);
@@ -150,7 +168,9 @@ int bench_main(int argc, char** argv) {
       << "    \"base_threads\": " << base_run->threads << ",\n"
       << "    \"max_speedup\": " << max_speedup << ",\n"
       << "    \"deterministic\": " << (deterministic ? "true" : "false")
-      << "\n  }\n}\n";
+      << ",\n"
+      << "    \"valid_parallel_baseline\": "
+      << (valid_parallel_baseline ? "true" : "false") << "\n  }\n}\n";
   std::cout << "\nwrote " << json_path << "\n";
 
   return deterministic ? 0 : 1;

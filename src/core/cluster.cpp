@@ -16,7 +16,22 @@ constexpr std::uint64_t kInjectedNoiseStream = 1;
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       topo_(config_.topo),
-      transport_(engine_, topo_, config_.fabric, config_.transport) {}
+      transport_(engine_, topo_, config_.fabric, config_.transport) {
+  // A ring step wakes every rank and keeps a handful of protocol events per
+  // rank in flight; pre-sizing the calendar for that working set makes the
+  // first run allocation-quiet too.
+  engine_.reserve_events(static_cast<std::size_t>(topo_.ranks()) * 8);
+}
+
+void Cluster::reset(ClusterConfig config) {
+  config_ = std::move(config);
+  engine_.reset();
+  topo_ = net::Topology(config_.topo);
+  // Keep the constructor's calendar pre-sizing when reshaping larger.
+  engine_.reserve_events(static_cast<std::size_t>(topo_.ranks()) * 8);
+  transport_.reconfigure(config_.fabric, config_.transport);
+  ran_ = false;
+}
 
 Duration Cluster::message_time(int src, int dst, std::int64_t bytes) const {
   if (transport_.protocol_for(src, dst, bytes) == mpi::WireProtocol::eager)
@@ -26,62 +41,84 @@ Duration Cluster::message_time(int src, int dst, std::int64_t bytes) const {
 
 mpi::Trace Cluster::run(const std::vector<mpi::Program>& programs,
                         const noise::NoiseSpec& injected_noise) {
-  IW_REQUIRE(!ran_, "a Cluster instance can run only once");
+  IW_REQUIRE(!ran_, "Cluster::run requires a fresh or reset() instance");
   IW_REQUIRE(static_cast<int>(programs.size()) == topo_.ranks(),
              "need exactly one program per rank");
   ran_ = true;
 
+  const auto nranks = static_cast<std::size_t>(topo_.ranks());
   mpi::Trace trace(topo_.ranks());
 
   // Socket bandwidth domains (only when memory-bound work is configured).
   // They serve both OpMemWork phases and — via the transport — intra-node
   // message copies, which contend with computation for the memory bus.
-  if (config_.memory) {
-    domains_.reserve(static_cast<std::size_t>(topo_.sockets()));
-    for (int s = 0; s < topo_.sockets(); ++s)
+  // Domain objects are recycled across reset() runs.
+  const std::size_t sockets =
+      config_.memory ? static_cast<std::size_t>(topo_.sockets()) : 0;
+  if (domains_.size() > sockets) domains_.resize(sockets);
+  for (std::size_t s = 0; s < sockets; ++s) {
+    if (s < domains_.size()) {
+      domains_[s]->reset(config_.memory->socket_bandwidth_Bps,
+                         config_.memory->core_bandwidth_Bps);
+    } else {
       domains_.push_back(std::make_unique<memory::BandwidthDomain>(
           engine_, config_.memory->socket_bandwidth_Bps,
           config_.memory->core_bandwidth_Bps));
-    transport_.set_memory_domains([this](int rank) {
-      return domains_[static_cast<std::size_t>(topo_.socket_of(rank))].get();
-    });
+    }
   }
+  domain_table_.clear();
+  if (!domains_.empty()) {
+    domain_table_.reserve(nranks);
+    for (int rank = 0; rank < topo_.ranks(); ++rank)
+      domain_table_.push_back(
+          domains_[static_cast<std::size_t>(topo_.socket_of(rank))].get());
+  }
+  transport_.set_memory_domains(domain_table_);
 
-  std::vector<std::unique_ptr<mpi::Process>> processes;
-  processes.reserve(programs.size());
+  // Processes are pooled too: reset() rebinds existing ones to this run's
+  // trace; only a rank-count increase constructs new objects.
+  if (processes_.size() > nranks) processes_.resize(nranks);
+  for (std::size_t r = 0; r < processes_.size(); ++r)
+    processes_[r]->reset(trace);
+  while (processes_.size() < nranks)
+    processes_.push_back(std::make_unique<mpi::Process>(
+        static_cast<int>(processes_.size()), engine_, transport_, trace));
+
   for (int rank = 0; rank < topo_.ranks(); ++rank) {
-    auto proc = std::make_unique<mpi::Process>(rank, engine_, transport_,
-                                               trace);
-    proc->set_program(std::make_shared<const mpi::Program>(
-        programs[static_cast<std::size_t>(rank)]));
+    mpi::Process& proc = *processes_[static_cast<std::size_t>(rank)];
+    const mpi::Program& program = programs[static_cast<std::size_t>(rank)];
+    // Size the trace from the program shape (each op records at most one
+    // segment) so recording never reallocates mid-run.
+    trace.reserve_rank(rank, program.size(),
+                       static_cast<std::size_t>(program.rounds()) + 1);
+    proc.set_program(&program);
     if (config_.system_noise.kind != noise::NoiseSpec::Kind::none) {
-      proc->add_noise(config_.system_noise.build(),
-                      Rng::for_stream(config_.seed,
-                                      static_cast<std::uint64_t>(rank),
-                                      kSystemNoiseStream));
+      proc.add_noise(config_.system_noise.build(),
+                     Rng::for_stream(config_.seed,
+                                     static_cast<std::uint64_t>(rank),
+                                     kSystemNoiseStream));
     }
     if (injected_noise.kind != noise::NoiseSpec::Kind::none) {
-      proc->add_noise(injected_noise.build(),
-                      Rng::for_stream(config_.seed,
-                                      static_cast<std::uint64_t>(rank),
-                                      kInjectedNoiseStream));
+      proc.add_noise(injected_noise.build(),
+                     Rng::for_stream(config_.seed,
+                                     static_cast<std::uint64_t>(rank),
+                                     kInjectedNoiseStream));
     }
-    if (!domains_.empty())
-      proc->set_domain(
-          domains_[static_cast<std::size_t>(topo_.socket_of(rank))].get());
-    processes.push_back(std::move(proc));
+    if (!domain_table_.empty())
+      proc.set_domain(domain_table_[static_cast<std::size_t>(rank)]);
   }
 
-  transport_.set_completion_handler(
-      [&processes](int rank, mpi::RequestId request) {
-        processes[static_cast<std::size_t>(rank)]->on_request_complete(
-            request);
-      });
+  // Rank-indexed completion wiring: the transport calls straight into
+  // Process::on_request_complete, no type-erased hop.
+  process_table_.clear();
+  process_table_.reserve(nranks);
+  for (auto& proc : processes_) process_table_.push_back(proc.get());
+  transport_.set_processes(process_table_.data());
 
-  for (auto& proc : processes) proc->start();
+  for (auto& proc : processes_) proc->start();
   engine_.run();
 
-  for (const auto& proc : processes)
+  for (const auto& proc : processes_)
     IW_ASSERT(proc->done(), "deadlock: a process never finished its program");
 
   return trace;

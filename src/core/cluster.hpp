@@ -6,8 +6,14 @@
 //   core::Cluster cluster(config);
 //   mpi::Trace trace = cluster.run(workload::build_ring(spec, delays));
 //
-// A Cluster instance executes exactly one simulation run (the engine's
-// clock cannot be rewound); sweeps construct a fresh Cluster per run.
+// A Cluster instance executes one simulation per arming: the engine's clock
+// cannot be rewound mid-run, but reset() re-arms the whole assembly for the
+// next run while recycling every pool — the calendar slab, the transport's
+// rank queues and rendezvous slab, the process and bandwidth-domain
+// objects. Sweeps run thousands of points through one Cluster this way
+// (see core::WaveRunner) instead of reconstructing the world per point. A
+// reset cluster is byte-for-byte indistinguishable from a fresh one; the
+// determinism suite guards that equivalence.
 #pragma once
 
 #include <cstdint>
@@ -54,14 +60,23 @@ class Cluster {
   /// Runs one program per rank to completion and returns the trace.
   /// `injected_noise` adds a second per-phase noise source on every rank —
   /// the paper's fine-grained exponential injection with mean E*Texec.
-  /// Callable exactly once per Cluster.
+  /// Callable once per construction/reset().
   mpi::Trace run(const std::vector<mpi::Program>& programs,
                  const noise::NoiseSpec& injected_noise =
                      noise::NoiseSpec::none());
 
+  /// Re-arms the cluster for another run under a (possibly different)
+  /// configuration. The engine calendar, transport pools, and the process
+  /// and domain objects are recycled; behaviour is identical to a freshly
+  /// constructed Cluster with the same config.
+  void reset(ClusterConfig config);
+
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
   [[nodiscard]] const mpi::Transport::Stats& transport_stats() const {
     return transport_.stats();
+  }
+  [[nodiscard]] mpi::Transport::PoolStats transport_pool_stats() const {
+    return transport_.pool_stats();
   }
   [[nodiscard]] std::uint64_t events_processed() const {
     return engine_.events_processed();
@@ -81,6 +96,9 @@ class Cluster {
   net::Topology topo_;
   mpi::Transport transport_;
   std::vector<std::unique_ptr<memory::BandwidthDomain>> domains_;
+  std::vector<std::unique_ptr<mpi::Process>> processes_;
+  std::vector<mpi::Process*> process_table_;  ///< rank-indexed hot-path wiring
+  std::vector<memory::BandwidthDomain*> domain_table_;
   bool ran_ = false;
 };
 

@@ -54,9 +54,8 @@ mpi::WireProtocol protocol_for(const ClusterConfig& config,
                        : mpi::WireProtocol::eager;
 }
 
-WaveResult run_grid_experiment(const WaveExperiment& exp) {
+WaveResult run_grid_experiment(Cluster& cluster, const WaveExperiment& exp) {
   const workload::Grid2DSpec& grid = *exp.grid;
-  Cluster cluster(exp.cluster);
   const auto programs = workload::build_grid2d(grid, exp.delays);
 
   WaveResult result{cluster.run(programs, exp.injected_noise),
@@ -118,11 +117,7 @@ WaveResult run_grid_experiment(const WaveExperiment& exp) {
   return result;
 }
 
-}  // namespace
-
-WaveResult run_wave_experiment(const WaveExperiment& exp) {
-  if (exp.grid) return run_grid_experiment(exp);
-  Cluster cluster(exp.cluster);
+WaveResult run_ring_experiment(Cluster& cluster, const WaveExperiment& exp) {
   const auto programs = workload::build_ring(exp.ring, exp.delays);
 
   WaveResult result{cluster.run(programs, exp.injected_noise),
@@ -178,6 +173,27 @@ WaveResult run_wave_experiment(const WaveExperiment& exp) {
         static_cast<double>(exp.ring.distance) / result.measured_cycle.sec();
   }
   return result;
+}
+
+WaveResult run_on(Cluster& cluster, const WaveExperiment& exp) {
+  return exp.grid ? run_grid_experiment(cluster, exp)
+                  : run_ring_experiment(cluster, exp);
+}
+
+}  // namespace
+
+WaveResult run_wave_experiment(const WaveExperiment& exp) {
+  Cluster cluster(exp.cluster);
+  return run_on(cluster, exp);
+}
+
+WaveResult WaveRunner::run(const WaveExperiment& exp) {
+  if (cluster_ == nullptr) {
+    cluster_ = std::make_unique<Cluster>(exp.cluster);
+  } else {
+    cluster_->reset(exp.cluster);
+  }
+  return run_on(*cluster_, exp);
 }
 
 }  // namespace iw::core

@@ -6,6 +6,7 @@
 // every experiment in the paper.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -53,6 +54,19 @@ struct WaveResult {
 
 /// Runs the experiment. If `delays` is empty the wave analyses stay empty.
 [[nodiscard]] WaveResult run_wave_experiment(const WaveExperiment& exp);
+
+/// Reusable experiment driver: one Cluster is recycled across consecutive
+/// runs via Cluster::reset(), so a sweep worker pays for the engine
+/// calendar slab, transport pools, and process objects once instead of per
+/// point. Results are byte-identical to fresh-cluster runs (guarded by the
+/// determinism suite). Not thread-safe; sweep workers hold one each.
+class WaveRunner {
+ public:
+  [[nodiscard]] WaveResult run(const WaveExperiment& exp);
+
+ private:
+  std::unique_ptr<Cluster> cluster_;
+};
 
 /// Mean distance between consecutive step-begin markers of `rank` over
 /// steps [from_step, to_step); the steady-state cycle time Texec + Tcomm.

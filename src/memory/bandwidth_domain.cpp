@@ -22,6 +22,17 @@ BandwidthDomain::BandwidthDomain(sim::Engine& engine, double total_Bps,
   IW_REQUIRE(per_core_Bps > 0.0, "per-core bandwidth must be positive");
 }
 
+void BandwidthDomain::reset(double total_Bps, double per_core_Bps) {
+  IW_REQUIRE(total_Bps > 0.0, "domain bandwidth must be positive");
+  IW_REQUIRE(per_core_Bps > 0.0, "per-core bandwidth must be positive");
+  total_Bps_ = total_Bps;
+  per_core_Bps_ = per_core_Bps;
+  jobs_.clear();
+  last_update_ = SimTime::zero();
+  next_id_ = 0;
+  schedule_generation_ = 0;
+}
+
 double BandwidthDomain::current_rate() const {
   if (jobs_.empty()) return per_core_Bps_;
   return std::min(per_core_Bps_,

@@ -33,6 +33,12 @@ class BandwidthDomain {
   /// membership changes. `done` is a one-shot move-only continuation.
   void submit(std::int64_t bytes, sim::EventFn done);
 
+  /// Re-arms the domain for another simulation run with (possibly new)
+  /// bandwidth parameters, dropping any leftover jobs but keeping the job
+  /// vector's capacity. Must be paired with an Engine::reset(): pending
+  /// re-rate events are assumed to have been discarded with the calendar.
+  void reset(double total_Bps, double per_core_Bps);
+
   [[nodiscard]] int active_jobs() const { return static_cast<int>(jobs_.size()); }
   [[nodiscard]] double total_Bps() const { return total_Bps_; }
   [[nodiscard]] double per_core_Bps() const { return per_core_Bps_; }

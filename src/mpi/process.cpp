@@ -8,13 +8,29 @@ namespace iw::mpi {
 
 Process::Process(int rank, sim::Engine& engine, Transport& transport,
                  Trace& trace)
-    : rank_(rank), engine_(engine), transport_(transport), trace_(trace) {
+    : rank_(rank), engine_(engine), transport_(transport), trace_(&trace) {
   IW_REQUIRE(rank >= 0, "rank must be non-negative");
 }
 
-void Process::set_program(std::shared_ptr<const Program> program) {
+void Process::set_program(const Program* program) {
   IW_REQUIRE(program != nullptr, "program must not be null");
-  program_ = std::move(program);
+  program_ = program;
+}
+
+void Process::reset(Trace& trace) {
+  trace_ = &trace;
+  program_ = nullptr;
+  domain_ = nullptr;
+  noise_.clear();
+  pc_ = 0;
+  next_step_ = 0;
+  requests_.clear();  // capacity retained for the next run
+  open_requests_ = 0;
+  latest_due_ = SimTime::zero();
+  blocked_ = false;
+  wait_begin_ = SimTime::zero();
+  done_ = false;
+  on_done_ = DoneFn{};
 }
 
 void Process::add_noise(std::unique_ptr<noise::NoiseModel> model, Rng rng) {
@@ -38,13 +54,49 @@ void Process::resume() {
   while (pc_ < ops.size()) {
     const Op& op = ops[pc_];
 
+    // The send/recv posts lead the dispatch chain: a step posts one of
+    // each per neighbor but hits every other op kind once.
+    if (const auto* send = std::get_if<OpIsend>(&op)) {
+      const auto id = static_cast<RequestId>(requests_.size());
+      requests_.push_back(
+          Request{Request::Kind::send, send->peer, send->tag, send->bytes,
+                  false, false, SimTime::zero()});
+      // Eager sends hand back their local-completion delay instead of
+      // scheduling a completion event; the request settles by the clock.
+      if (const auto local = transport_.post_send(rank_, send->peer,
+                                                  send->tag, send->bytes,
+                                                  id)) {
+        Request& req = requests_.back();
+        req.timed = true;
+        req.due = engine_.now() + *local;
+        latest_due_ = std::max(latest_due_, req.due);
+      } else {
+        ++open_requests_;
+      }
+      ++pc_;
+      continue;
+    }
+
+    if (const auto* recv = std::get_if<OpIrecv>(&op)) {
+      const auto id = static_cast<RequestId>(requests_.size());
+      requests_.push_back(
+          Request{Request::Kind::recv, recv->peer, recv->tag, recv->bytes,
+                  false, false, SimTime::zero()});
+      // Count the receive open before posting: an unexpected match settles
+      // it synchronously from inside post_recv.
+      ++open_requests_;
+      transport_.post_recv(rank_, recv->peer, recv->tag, recv->bytes, id);
+      ++pc_;
+      continue;
+    }
+
     if (const auto* comp = std::get_if<OpCompute>(&op)) {
       const Duration extra = comp->noisy ? sample_noise() : Duration::zero();
       const Duration total = comp->duration + extra;
       const SimTime begin = engine_.now();
       const std::int32_t step = next_step_ - 1;
       engine_.after(total, [this, begin, extra, step] {
-        trace_.add_segment(rank_, Segment{SegKind::compute, begin,
+        trace_->add_segment(rank_, Segment{SegKind::compute, begin,
                                           engine_.now(), step, extra});
         ++pc_;
         resume();
@@ -60,7 +112,7 @@ void Process::resume() {
       const std::int32_t step = next_step_ - 1;
       domain_->submit(work->bytes, [this, begin, extra, step] {
         engine_.after(extra, [this, begin, extra, step] {
-          trace_.add_segment(rank_, Segment{SegKind::compute, begin,
+          trace_->add_segment(rank_, Segment{SegKind::compute, begin,
                                             engine_.now(), step, extra});
           ++pc_;
           resume();
@@ -73,7 +125,7 @@ void Process::resume() {
       const SimTime begin = engine_.now();
       const std::int32_t step = next_step_ - 1;
       engine_.after(inject->duration, [this, begin, step] {
-        trace_.add_segment(rank_, Segment{SegKind::injected, begin,
+        trace_->add_segment(rank_, Segment{SegKind::injected, begin,
                                           engine_.now(), step,
                                           Duration::zero()});
         ++pc_;
@@ -82,43 +134,21 @@ void Process::resume() {
       return;
     }
 
-    if (const auto* send = std::get_if<OpIsend>(&op)) {
-      const auto id = static_cast<RequestId>(requests_.size());
-      requests_.push_back(
-          Request{Request::Kind::send, send->peer, send->tag, send->bytes,
-                  false});
-      transport_.post_send(rank_, send->peer, send->tag, send->bytes, id);
-      ++pc_;
-      continue;
-    }
-
-    if (const auto* recv = std::get_if<OpIrecv>(&op)) {
-      const auto id = static_cast<RequestId>(requests_.size());
-      requests_.push_back(
-          Request{Request::Kind::recv, recv->peer, recv->tag, recv->bytes,
-                  false});
-      transport_.post_recv(rank_, recv->peer, recv->tag, recv->bytes, id);
-      ++pc_;
-      continue;
-    }
-
     if (std::holds_alternative<OpWaitAll>(op)) {
-      const bool all_done =
-          std::all_of(requests_.begin(), requests_.end(),
-                      [](const Request& r) { return r.complete; });
-      if (all_done) {
+      if (requests_settled(engine_.now())) {
         requests_.clear();
         ++pc_;
         continue;
       }
       blocked_ = true;
       wait_begin_ = engine_.now();
+      schedule_timed_wake();
       return;
     }
 
     if (const auto* mark = std::get_if<OpMark>(&op)) {
       (void)mark;
-      trace_.mark_step(rank_, next_step_, engine_.now());
+      trace_->mark_step(rank_, next_step_, engine_.now());
       ++next_step_;
       ++pc_;
       continue;
@@ -130,33 +160,76 @@ void Process::resume() {
   // Program complete.
   if (!done_) {
     done_ = true;
-    trace_.set_finish(rank_, engine_.now());
-    if (on_done_) on_done_(rank_);
+    trace_->set_finish(rank_, engine_.now());
+    if (on_done_.fn != nullptr) on_done_.fn(on_done_.ctx, rank_);
   }
+}
+
+bool Process::requests_settled(SimTime now) const {
+  return open_requests_ == 0 && latest_due_ <= now;
+}
+
+void Process::schedule_timed_wake() {
+  // If any unfinished request is event-driven, its completion will resume
+  // us; otherwise nothing would, so wake at the latest known due time.
+  // Each window arms at most one wake: the arming call is the one that
+  // settles the last event-driven request, and requests settle only once.
+  if (open_requests_ > 0) return;
+  engine_.at(latest_due_, [this] {
+    if (!blocked_) return;
+    IW_ASSERT(requests_settled(engine_.now()),
+              "timed wake before every request settled");
+    finish_wait();
+  });
+}
+
+void Process::finish_wait() {
+  blocked_ = false;
+  const SimTime now = engine_.now();
+  if (now > wait_begin_) {
+    trace_->add_segment(rank_, Segment{SegKind::wait, wait_begin_, now,
+                                       next_step_ - 1, Duration::zero()});
+  }
+  requests_.clear();
+  latest_due_ = SimTime::zero();
+  ++pc_;
+  resume();
 }
 
 void Process::on_request_complete(RequestId id) {
   IW_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < requests_.size(),
              "unknown request id");
   Request& req = requests_[static_cast<std::size_t>(id)];
-  IW_ASSERT(!req.complete, "request completed twice");
+  IW_ASSERT(!req.complete && !req.timed, "request completed twice");
   req.complete = true;
+  --open_requests_;
 
   if (!blocked_) return;
-  const bool all_done =
-      std::all_of(requests_.begin(), requests_.end(),
-                  [](const Request& r) { return r.complete; });
-  if (!all_done) return;
-
-  blocked_ = false;
-  const SimTime now = engine_.now();
-  if (now > wait_begin_) {
-    trace_.add_segment(rank_, Segment{SegKind::wait, wait_begin_, now,
-                                      next_step_ - 1, Duration::zero()});
+  if (!requests_settled(engine_.now())) {
+    // The last event-driven completion may leave only timed requests with
+    // future due points; arm the wake so the WaitAll still ends.
+    schedule_timed_wake();
+    return;
   }
-  requests_.clear();
-  ++pc_;
-  resume();
+  finish_wait();
+}
+
+void Process::on_request_settles_at(RequestId id, SimTime due) {
+  IW_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < requests_.size(),
+             "unknown request id");
+  Request& req = requests_[static_cast<std::size_t>(id)];
+  IW_ASSERT(!req.complete && !req.timed, "request settled twice");
+  req.timed = true;
+  req.due = due;
+  latest_due_ = std::max(latest_due_, due);
+  --open_requests_;
+
+  if (!blocked_) return;
+  if (!requests_settled(engine_.now())) {
+    schedule_timed_wake();
+    return;
+  }
+  finish_wait();
 }
 
 }  // namespace iw::mpi

@@ -1,10 +1,13 @@
 // A simulated MPI process: interprets a rank Program against the engine,
 // the transport, an optional bandwidth domain, and attached noise sources,
 // recording a trace of everything it does.
+//
+// Processes are pooled by the Cluster: reset() re-arms one for another run
+// (new trace binding, new program) while the request vector keeps its
+// capacity, so steady-state interpretation allocates nothing per message.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -27,7 +30,9 @@ class Process {
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
 
-  void set_program(std::shared_ptr<const Program> program);
+  /// Non-owning: programs are immutable and must outlive the run (the
+  /// Cluster keeps the caller's program vector alive for its duration).
+  void set_program(const Program* program);
 
   /// Attaches a noise source; each compute phase adds one sample from every
   /// attached source. The process owns model and generator.
@@ -37,16 +42,34 @@ class Process {
   /// May stay null if the program has no memory-bound phases.
   void set_domain(memory::BandwidthDomain* domain) { domain_ = domain; }
 
+  /// Re-arms the process for another run: rebinds the trace, clears the
+  /// program, noise sources, domain, and interpreter state. The request
+  /// vector keeps its capacity.
+  void reset(Trace& trace);
+
   /// Called once after wiring; schedules the first instruction at t=0.
   void start();
 
   /// Transport callback: request `id` finished.
   void on_request_complete(RequestId id);
 
+  /// Transport callback for completions whose finish time is already known
+  /// (a matched receive settles `overhead` after its arrival, a rendezvous
+  /// sender when its payload is injected): marks the request as settling at
+  /// `due` instead of costing a completion event. A blocked WaitAll whose
+  /// remaining requests are all timed re-arms a single wake at the latest
+  /// due point — one event per wait window, not one per completion.
+  void on_request_settles_at(RequestId id, SimTime due);
+
+  /// Plain-pointer completion hook (rank-done notification): no type-erased
+  /// state, so wiring it costs nothing on the hot path.
+  struct DoneFn {
+    void (*fn)(void* ctx, int rank) = nullptr;
+    void* ctx = nullptr;
+  };
+
   /// Invoked when the program has fully executed.
-  void set_done_handler(std::function<void(int rank)> fn) {
-    on_done_ = std::move(fn);
-  }
+  void set_done_handler(DoneFn fn) { on_done_ = fn; }
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] bool done() const { return done_; }
@@ -55,13 +78,18 @@ class Process {
  private:
   void resume();                    ///< interpret ops until blocked or timed
   [[nodiscard]] Duration sample_noise();
-  void finish_waitall();
+  /// True when every request is complete or past its timed due point.
+  [[nodiscard]] bool requests_settled(SimTime now) const;
+  /// If every unfinished request has a known (timed) completion point,
+  /// schedules one wake event at the latest of them.
+  void schedule_timed_wake();
+  void finish_wait();               ///< records the wait segment, resumes
 
   int rank_;
   sim::Engine& engine_;
   Transport& transport_;
-  Trace& trace_;
-  std::shared_ptr<const Program> program_;
+  Trace* trace_;
+  const Program* program_ = nullptr;
   memory::BandwidthDomain* domain_ = nullptr;
 
   struct NoiseSource {
@@ -73,10 +101,14 @@ class Process {
   std::size_t pc_ = 0;
   std::int32_t next_step_ = 0;
   std::vector<Request> requests_;
+  /// O(1) WaitAll accounting: requests whose completion is event-driven
+  /// and still outstanding, plus the latest timed due point of the window.
+  int open_requests_ = 0;
+  SimTime latest_due_ = SimTime::zero();
   bool blocked_ = false;
   SimTime wait_begin_;
   bool done_ = false;
-  std::function<void(int)> on_done_;
+  DoneFn on_done_;
 };
 
 }  // namespace iw::mpi

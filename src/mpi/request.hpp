@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "support/time.hpp"
+
 namespace iw::mpi {
 
 /// Handle to a pending nonblocking operation; an index into the owning
@@ -17,7 +19,14 @@ struct Request {
   int peer = -1;
   int tag = 0;
   std::int64_t bytes = 0;
+  /// Event-driven completion (receives, rendezvous sends) delivered via
+  /// Transport's completion wiring.
   bool complete = false;
+  /// Timed completion (eager sends): the finish time is known when the
+  /// request is posted, so no completion event exists — the request counts
+  /// as settled once the clock reaches `due`.
+  bool timed = false;
+  SimTime due;
 };
 
 }  // namespace iw::mpi

@@ -13,6 +13,12 @@ Trace::Trace(int ranks)
   IW_REQUIRE(ranks > 0, "trace needs at least one rank");
 }
 
+void Trace::reserve_rank(int rank, std::size_t segments, std::size_t steps) {
+  IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
+  segments_[static_cast<std::size_t>(rank)].reserve(segments);
+  step_begin_[static_cast<std::size_t>(rank)].reserve(steps);
+}
+
 void Trace::add_segment(int rank, Segment seg) {
   IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
   IW_ASSERT(seg.end >= seg.begin, "segment must have non-negative duration");

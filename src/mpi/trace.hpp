@@ -47,6 +47,11 @@ class Trace {
   void mark_step(int rank, std::int32_t step, SimTime when);
   void set_finish(int rank, SimTime when);
 
+  /// Pre-sizes one rank's segment and step storage so a run of known shape
+  /// (the Cluster derives it from the rank's program) records without
+  /// reallocating mid-simulation.
+  void reserve_rank(int rank, std::size_t segments, std::size_t steps);
+
   [[nodiscard]] int ranks() const { return static_cast<int>(segments_.size()); }
   [[nodiscard]] const std::vector<Segment>& segments(int rank) const;
   /// Wall-clock times at which `rank` began each timestep, indexed by step.

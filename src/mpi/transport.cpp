@@ -1,54 +1,112 @@
 #include "mpi/transport.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <utility>
 
+#include "mpi/process.hpp"
 #include "support/error.hpp"
 
 namespace iw::mpi {
-namespace {
-
-/// Packs a (src, dst) pair into one map key.
-std::int64_t pair_key(int src, int dst) {
-  return (static_cast<std::int64_t>(src) << 32) |
-         static_cast<std::int64_t>(static_cast<std::uint32_t>(dst));
-}
-
-}  // namespace
 
 Transport::Transport(sim::Engine& engine, const net::Topology& topo,
                      const net::FabricProfile& fabric, Options options)
-    : engine_(engine),
-      topo_(topo),
-      fabric_(fabric),
-      options_(options),
-      eager_limit_(options.eager_limit_override >= 0
-                       ? options.eager_limit_override
-                       : fabric.eager_limit_bytes),
-      ranks_(static_cast<std::size_t>(topo.ranks())) {}
+    : engine_(engine), topo_(topo) {
+  reconfigure(fabric, options);
+}
+
+void Transport::reconfigure(const net::FabricProfile& fabric,
+                            Options options) {
+  fabric_ = fabric;
+  options_ = options;
+  eager_limit_ = options.eager_limit_override >= 0
+                     ? options.eager_limit_override
+                     : fabric_.eager_limit_bytes;
+  nranks_ = static_cast<std::size_t>(topo_.ranks());
+
+  if (ranks_.size() != nranks_) ranks_.resize(nranks_);
+  for (RankState& s : ranks_) {
+    s.posted_recvs.clear();
+    s.unexpected_eager.clear();
+    s.unexpected_rts.clear();
+    s.nic_free = SimTime::zero();
+    s.outstanding_handshakes = 0;
+    s.deferred.clear();
+  }
+  rdv_slab_.clear();
+  rdv_free_.clear();
+
+  // Backlog accounting exists only to drive the finite-buffer fallback;
+  // under the default infinite capacity the steady-state path skips it
+  // entirely (no table, no per-message arithmetic).
+  track_backlog_ = options_.eager_buffer_capacity !=
+                   std::numeric_limits<std::int64_t>::max();
+  if (track_backlog_) {
+    eager_backlog_.assign(nranks_ * nranks_, 0);
+  } else {
+    eager_backlog_.clear();
+  }
+
+  procs_ = nullptr;
+  on_complete_ = nullptr;
+  domains_by_rank_.clear();
+  use_domains_ = false;
+  stats_ = Stats{};
+}
+
+void Transport::set_processes(Process* const* by_rank) { procs_ = by_rank; }
 
 void Transport::set_completion_handler(CompletionFn fn) {
   on_complete_ = std::move(fn);
 }
 
-void Transport::set_memory_domains(DomainLookup lookup) {
-  domain_lookup_ = std::move(lookup);
+void Transport::set_memory_domains(
+    const std::vector<memory::BandwidthDomain*>& by_rank) {
+  IW_REQUIRE(by_rank.empty() || by_rank.size() == nranks_,
+             "memory-domain table must have one entry per rank");
+  domains_by_rank_.assign(by_rank.begin(), by_rank.end());
+  use_domains_ = !domains_by_rank_.empty();
 }
 
-void Transport::transfer(int src, int dst, std::int64_t bytes,
-                         sim::EventFn on_injected, sim::EventFn on_arrival) {
-  const net::LinkClass cls = topo_.classify(src, dst);
+Transport::PoolStats Transport::pool_stats() const {
+  PoolStats p;
+  p.allocations = pool_allocations_;
+  for (const RankState& s : ranks_)
+    p.allocations += s.posted_recvs.grows() + s.unexpected_eager.grows() +
+                     s.unexpected_rts.grows();
+  p.rdv_slab_capacity = rdv_slab_.capacity();
+  p.rdv_in_flight = rdv_slab_.size() - rdv_free_.size();
+  return p;
+}
+
+std::uint32_t Transport::acquire_rdv() {
+  if (!rdv_free_.empty()) {
+    const std::uint32_t slot = rdv_free_.back();
+    rdv_free_.pop_back();
+    return slot;
+  }
+  if (rdv_slab_.size() == rdv_slab_.capacity()) ++pool_allocations_;
+  rdv_slab_.emplace_back();
+  return static_cast<std::uint32_t>(rdv_slab_.size() - 1);
+}
+
+void Transport::release_rdv(std::uint32_t slot) {
+  push_counted(rdv_free_, slot);
+}
+
+void Transport::transfer(net::LinkClass cls, int src, int dst,
+                         std::int64_t bytes, sim::EventFn on_injected,
+                         sim::EventFn on_arrival) {
   const bool same_node = cls == net::LinkClass::intra_socket ||
                          cls == net::LinkClass::inter_socket;
-  memory::BandwidthDomain* src_domain =
-      (same_node && domain_lookup_) ? domain_lookup_(src) : nullptr;
+  memory::BandwidthDomain* src_domain = same_node ? domain_of(src) : nullptr;
 
   if (src_domain == nullptr) {
     // NIC path: serialize on the sender's NIC, arrive after the latency.
-    const SimTime arrival = inject(src, dst, bytes);
-    const SimTime injected = arrival - link(src, dst).latency;
-    engine_.at(injected, std::move(on_injected));
+    // An empty on_injected (eager sends complete locally, before the
+    // transfer) schedules nothing.
+    const net::LinkParams& p = fabric_.params(cls);
+    const SimTime arrival = inject(p, src, bytes);
+    if (on_injected) engine_.at(arrival - p.latency, std::move(on_injected));
     engine_.at(arrival, std::move(on_arrival));
     return;
   }
@@ -57,13 +115,13 @@ void Transport::transfer(int src, int dst, std::int64_t bytes,
   // each drawing on the owning socket's memory bandwidth (they contend with
   // computation — the effect the Eq. 1 model ignores). The arrival
   // continuation is moved stage to stage, not shared.
-  memory::BandwidthDomain* dst_domain = domain_lookup_(dst);
-  const Duration latency = link(src, dst).latency;
+  memory::BandwidthDomain* dst_domain = domain_of(dst);
+  const Duration latency = fabric_.params(cls).latency;
   src_domain->submit(
       bytes, [this, bytes, dst_domain, latency,
               injected = std::move(on_injected),
               arrival = std::move(on_arrival)]() mutable {
-        injected();
+        if (injected) injected();
         engine_.after(latency, [bytes, dst_domain,
                                 arrival = std::move(arrival)]() mutable {
           if (dst_domain != nullptr) {
@@ -79,21 +137,17 @@ const net::LinkParams& Transport::link(int a, int b) const {
   return fabric_.params(topo_.classify(a, b));
 }
 
-Transport::RankState& Transport::state(int rank) {
-  IW_REQUIRE(rank >= 0 && rank < topo_.ranks(), "rank out of range");
-  return ranks_[static_cast<std::size_t>(rank)];
-}
-
-std::int64_t Transport::eager_backlog(int src, int dst) const {
-  const auto it = eager_backlog_.find(pair_key(src, dst));
-  return it == eager_backlog_.end() ? 0 : it->second;
-}
-
 WireProtocol Transport::protocol_for(int src, int dst,
                                      std::int64_t bytes) const {
   if (bytes > eager_limit_) return WireProtocol::rendezvous;
-  if (eager_backlog(src, dst) + bytes > options_.eager_buffer_capacity)
-    return WireProtocol::rendezvous;
+  if (track_backlog_) {
+    // Public entry point: the flat table needs the bounds check the old
+    // map lookup never did (post_send re-checks, but callers like
+    // Cluster::message_time reach here directly).
+    check_ranks(src, dst);
+    if (eager_backlog(src, dst) + bytes > options_.eager_buffer_capacity)
+      return WireProtocol::rendezvous;
+  }
   return WireProtocol::eager;
 }
 
@@ -112,8 +166,8 @@ Duration Transport::rendezvous_transfer_time(int src, int dst,
          p.transfer_time(bytes) + p.overhead;
 }
 
-SimTime Transport::inject(int src, int dst, std::int64_t payload_bytes) {
-  const auto& p = link(src, dst);
+SimTime Transport::inject(const net::LinkParams& p, int src,
+                          std::int64_t payload_bytes) {
   RankState& s = state(src);
   const SimTime start = std::max(engine_.now(), s.nic_free);
   Duration busy = p.gap;
@@ -125,91 +179,107 @@ SimTime Transport::inject(int src, int dst, std::int64_t payload_bytes) {
   return s.nic_free + p.latency;
 }
 
-void Transport::complete(int rank, RequestId request, Duration delay) {
+void Transport::deliver(int rank, RequestId request) {
   IW_ASSERT(on_complete_ != nullptr, "completion handler not set");
-  engine_.after(delay, [this, rank, request] { on_complete_(rank, request); });
+  on_complete_(rank, request);
 }
 
-void Transport::post_send(int src, int dst, int tag, std::int64_t bytes,
-                          RequestId request) {
-  IW_REQUIRE(src != dst, "self-sends are not modeled");
-  if (protocol_for(src, dst, bytes) == WireProtocol::eager) {
-    send_eager(src, dst, tag, bytes, request);
-  } else {
-    if (bytes <= eager_limit_) ++stats_.eager_fallbacks;
-    send_rendezvous(src, dst, tag, bytes, request);
-  }
-}
-
-void Transport::send_eager(int src, int dst, int tag, std::int64_t bytes,
-                           RequestId request) {
-  ++stats_.eager_sends;
-  eager_backlog_[pair_key(src, dst)] += bytes;
-
-  const auto& p = link(src, dst);
-  // Local completion: buffering costs only the per-message overhead.
-  complete(src, request, p.overhead);
-
-  const Envelope envelope{src, dst, tag, bytes};
-  transfer(src, dst, bytes, [] {},
-           [this, envelope] { on_eager_arrival(envelope); });
-}
-
-void Transport::on_eager_arrival(const Envelope& envelope) {
-  RankState& s = state(envelope.dst);
-  auto it = std::find_if(
-      s.posted_recvs.begin(), s.posted_recvs.end(), [&](const PostedRecv& r) {
-        return envelope.matches(r.src, r.tag);
-      });
-  if (it == s.posted_recvs.end()) {
-    ++stats_.unexpected_eager;
-    s.unexpected_eager.push_back(envelope);
+void Transport::complete(int rank, RequestId request, Duration delay) {
+  // Direct-wired mode: the finish time is known now, so tell the process
+  // the request settles at now + delay — no completion event at all. The
+  // CompletionFn fallback (tests, harnesses without Process objects) keeps
+  // the event-delivered semantics.
+  if (procs_ != nullptr) {
+    procs_[rank]->on_request_settles_at(request, engine_.now() + delay);
     return;
   }
-  const auto& p = link(envelope.src, envelope.dst);
-  complete(envelope.dst, it->request, p.overhead);
-  eager_backlog_[pair_key(envelope.src, envelope.dst)] -= envelope.bytes;
-  s.posted_recvs.erase(it);
+  engine_.after(delay,
+                [this, rank, request] { deliver(rank, request); });
 }
 
-void Transport::send_rendezvous(int src, int dst, int tag, std::int64_t bytes,
-                                RequestId request) {
+std::optional<Duration> Transport::post_send(int src, int dst, int tag,
+                                             std::int64_t bytes,
+                                             RequestId request) {
+  IW_REQUIRE(src != dst, "self-sends are not modeled");
+  check_ranks(src, dst);
+  const net::LinkClass cls = topo_.classify(src, dst);
+  if (protocol_for(src, dst, bytes) == WireProtocol::eager)
+    return send_eager(cls, src, dst, tag, bytes);
+  if (bytes <= eager_limit_) ++stats_.eager_fallbacks;
+  send_rendezvous(cls, src, dst, tag, bytes, request);
+  return std::nullopt;
+}
+
+Duration Transport::send_eager(net::LinkClass cls, int src, int dst, int tag,
+                               std::int64_t bytes) {
+  ++stats_.eager_sends;
+  if (track_backlog_) eager_backlog_[backlog_index(src, dst)] += bytes;
+
+  const Duration overhead = fabric_.params(cls).overhead;
+  const Envelope envelope{src, dst, tag, bytes};
+  // The arrival closure carries the link overhead, so a matched arrival
+  // never re-classifies the link.
+  transfer(cls, src, dst, bytes, nullptr, [this, envelope, overhead] {
+    on_eager_arrival(envelope, overhead);
+  });
+  // Local completion: buffering costs only the per-message overhead. The
+  // caller folds this into its own wait accounting — no completion event.
+  return overhead;
+}
+
+void Transport::on_eager_arrival(const Envelope& envelope, Duration overhead) {
+  RankState& s = state(envelope.dst);
+  auto& q = s.posted_recvs;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (!envelope.matches(q[i].src, q[i].tag)) continue;
+    complete(envelope.dst, q[i].request, overhead);
+    if (track_backlog_)
+      eager_backlog_[backlog_index(envelope.src, envelope.dst)] -=
+          envelope.bytes;
+    q.erase(i);
+    return;
+  }
+  ++stats_.unexpected_eager;
+  s.unexpected_eager.push_back(envelope);
+}
+
+void Transport::send_rendezvous(net::LinkClass cls, int src, int dst, int tag,
+                                std::int64_t bytes, RequestId request) {
   ++stats_.rendezvous_sends;
-  const std::uint64_t uid = next_uid_++;
-  rdv_sends_.emplace(uid, RdvSend{Envelope{src, dst, tag, bytes}, request, -1});
+  const std::uint32_t slot = acquire_rdv();
+  rdv_slab_[slot] = RdvSend{Envelope{src, dst, tag, bytes}, request, -1};
   ++state(src).outstanding_handshakes;
 
-  const SimTime rts_arrival = inject(src, dst, 0);
-  engine_.at(rts_arrival, [this, uid] { on_rts_arrival(uid); });
+  const SimTime rts_arrival = inject(fabric_.params(cls), src, 0);
+  engine_.at(rts_arrival, [this, slot] { on_rts_arrival(slot); });
 }
 
-void Transport::on_rts_arrival(std::uint64_t send_uid) {
-  const RdvSend& send = rdv_sends_.at(send_uid);
-  RankState& s = state(send.envelope.dst);
-  auto it = std::find_if(
-      s.posted_recvs.begin(), s.posted_recvs.end(), [&](const PostedRecv& r) {
-        return send.envelope.matches(r.src, r.tag);
-      });
-  if (it == s.posted_recvs.end()) {
-    ++stats_.unexpected_rts;
-    s.unexpected_rts.push_back(RtsRecord{send_uid, send.envelope});
+void Transport::on_rts_arrival(std::uint32_t slot) {
+  const Envelope envelope = rdv_slab_[slot].envelope;
+  RankState& s = state(envelope.dst);
+  auto& q = s.posted_recvs;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (!envelope.matches(q[i].src, q[i].tag)) continue;
+    const RequestId recv_request = q[i].request;
+    q.erase(i);
+    issue_cts(slot, recv_request);
     return;
   }
-  const RequestId recv_request = it->request;
-  s.posted_recvs.erase(it);
-  issue_cts(send_uid, recv_request);
+  ++stats_.unexpected_rts;
+  s.unexpected_rts.push_back(RtsRecord{slot, envelope});
 }
 
-void Transport::issue_cts(std::uint64_t send_uid, RequestId recv_request) {
-  RdvSend& send = rdv_sends_.at(send_uid);
+void Transport::issue_cts(std::uint32_t slot, RequestId recv_request) {
+  RdvSend& send = rdv_slab_[slot];
   send.recv_request = recv_request;
-  const SimTime cts_arrival = inject(send.envelope.dst, send.envelope.src, 0);
-  engine_.at(cts_arrival, [this, send_uid] { on_cts_arrival(send_uid); });
+  // The CTS travels dst -> src; the link class is symmetric.
+  const SimTime cts_arrival =
+      inject(link(send.envelope.dst, send.envelope.src), send.envelope.dst, 0);
+  engine_.at(cts_arrival, [this, slot] { on_cts_arrival(slot); });
 }
 
-void Transport::on_cts_arrival(std::uint64_t send_uid) {
-  const RdvSend& send = rdv_sends_.at(send_uid);
-  RankState& s = state(send.envelope.src);
+void Transport::on_cts_arrival(std::uint32_t slot) {
+  RankState& s = state(rdv_slab_[slot].envelope.src);
   IW_ASSERT(s.outstanding_handshakes > 0,
             "CTS without an outstanding handshake");
   --s.outstanding_handshakes;
@@ -219,72 +289,70 @@ void Transport::on_cts_arrival(std::uint64_t send_uid) {
       s.outstanding_handshakes > 0;
   if (must_defer) {
     ++stats_.deferred_pushes;
-    s.deferred.push_back(send_uid);
+    push_counted(s.deferred, slot);
     return;
   }
 
   // This CTS may have cleared the last outstanding handshake: flush every
   // held push first (their CTS arrived earlier), then this one. The NIC
-  // serializes the injections in that order.
+  // serializes the injections in that order. The flush stages through a
+  // pooled scratch buffer, so draining allocates nothing once warm.
   if (s.outstanding_handshakes == 0 && !s.deferred.empty()) {
-    std::vector<std::uint64_t> flush;
-    flush.swap(s.deferred);
-    for (const std::uint64_t uid : flush) push_data(uid);
+    deferred_scratch_.swap(s.deferred);  // s.deferred is now empty, pooled
+    for (const std::uint32_t held : deferred_scratch_) push_data(held);
+    deferred_scratch_.clear();
   }
-  push_data(send_uid);
+  push_data(slot);
 }
 
-void Transport::push_data(std::uint64_t send_uid) {
-  const auto node = rdv_sends_.extract(send_uid);
-  IW_ASSERT(!node.empty(), "pushing an unknown rendezvous send");
-  const RdvSend send = node.mapped();
+void Transport::push_data(std::uint32_t slot) {
+  const RdvSend send = rdv_slab_[slot];
+  release_rdv(slot);
   IW_ASSERT(send.recv_request >= 0, "data push before the CTS matched");
 
   const int src = send.envelope.src;
   const int dst = send.envelope.dst;
   const RequestId send_request = send.send_request;
   const RequestId recv_request = send.recv_request;
+  const net::LinkClass cls = topo_.classify(src, dst);
+  const Duration overhead = fabric_.params(cls).overhead;
   // The sender is done once the payload is fully handed off; the receiver
   // when it has arrived (plus the per-message overhead).
-  transfer(src, dst, send.envelope.bytes,
+  transfer(cls, src, dst, send.envelope.bytes,
            [this, src, send_request] {
              complete(src, send_request, Duration::zero());
            },
-           [this, dst, recv_request, src] {
-             complete(dst, recv_request, link(src, dst).overhead);
+           [this, dst, recv_request, overhead] {
+             complete(dst, recv_request, overhead);
            });
 }
 
 void Transport::post_recv(int dst, int src, int tag, std::int64_t bytes,
                           RequestId request) {
   IW_REQUIRE(src != dst, "self-receives are not modeled");
+  check_ranks(src, dst);
   RankState& s = state(dst);
 
   // 1) Already-arrived eager payload?
-  {
-    auto it = std::find_if(
-        s.unexpected_eager.begin(), s.unexpected_eager.end(),
-        [&](const Envelope& e) { return e.matches(src, tag); });
-    if (it != s.unexpected_eager.end()) {
-      const auto& p = link(src, dst);
-      complete(dst, request, p.overhead);
-      eager_backlog_[pair_key(src, dst)] -= it->bytes;
-      s.unexpected_eager.erase(it);
-      return;
-    }
+  auto& ue = s.unexpected_eager;
+  for (std::size_t i = 0; i < ue.size(); ++i) {
+    if (!ue[i].matches(src, tag)) continue;
+    const auto& p = link(src, dst);
+    complete(dst, request, p.overhead);
+    if (track_backlog_)
+      eager_backlog_[backlog_index(src, dst)] -= ue[i].bytes;
+    ue.erase(i);
+    return;
   }
 
   // 2) A waiting rendezvous handshake?
-  {
-    auto it = std::find_if(
-        s.unexpected_rts.begin(), s.unexpected_rts.end(),
-        [&](const RtsRecord& r) { return r.envelope.matches(src, tag); });
-    if (it != s.unexpected_rts.end()) {
-      const std::uint64_t uid = it->send_uid;
-      s.unexpected_rts.erase(it);
-      issue_cts(uid, request);
-      return;
-    }
+  auto& ur = s.unexpected_rts;
+  for (std::size_t i = 0; i < ur.size(); ++i) {
+    if (!ur[i].envelope.matches(src, tag)) continue;
+    const std::uint32_t slot = ur[i].slot;
+    ur.erase(i);
+    issue_cts(slot, request);
+    return;
   }
 
   // 3) Nothing yet: queue the receive.

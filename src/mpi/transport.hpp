@@ -23,13 +23,30 @@
 // receiver's when it has fully arrived. Data pushes are subject to the
 // RendezvousPipelining semantic (see message.hpp) — the deferred_push rule
 // is what makes bidirectional rendezvous waves travel at sigma = 2.
+//
+// Hot-path layout: the steady-state send/receive path performs no hash
+// lookup, no heap allocation, and no type-erased dispatch.
+//   * In-flight rendezvous records live in a free-list-backed slab; the
+//     slot index rides inside the RTS/CTS event closures (the simulated
+//     control-message envelope), so every protocol step is one array index.
+//   * Per-endpoint matching queues are RingQueues over pooled storage that
+//     is retained across runs (see reconfigure()).
+//   * Eager-backlog accounting uses a flat (src, dst) table sized from the
+//     Topology — and is skipped entirely under the default infinite buffer
+//     capacity, where the fallback can never trigger. (The table is
+//     ranks^2 entries; finite-buffer ablations at several thousand ranks
+//     pay that footprint knowingly.)
+//   * Request completions and memory-domain lookups route through
+//     rank-indexed pointer tables (Process* / BandwidthDomain*) owned by
+//     the Cluster instead of std::function callbacks.
+// pool_stats() exposes the pools' allocation counters so tests can assert
+// the zero-allocation claim.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 #include "memory/bandwidth_domain.hpp"
@@ -38,8 +55,11 @@
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "support/ring_queue.hpp"
 
 namespace iw::mpi {
+
+class Process;
 
 class Transport {
  public:
@@ -64,6 +84,15 @@ class Transport {
     std::uint64_t unexpected_rts = 0;    ///< RTS arrivals before the recv
   };
 
+  /// Pool counters backing the steady-state zero-allocation claim: once the
+  /// pools are warm, `allocations` must stop moving no matter how many more
+  /// messages flow.
+  struct PoolStats {
+    std::uint64_t allocations = 0;    ///< total pool-growth (heap) events
+    std::size_t rdv_slab_capacity = 0;
+    std::size_t rdv_in_flight = 0;    ///< live rendezvous records
+  };
+
   using CompletionFn = std::function<void(int rank, RequestId request)>;
 
   Transport(sim::Engine& engine, const net::Topology& topo,
@@ -72,11 +101,15 @@ class Transport {
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
 
-  /// Must be set before any post; routes request completions to processes.
-  void set_completion_handler(CompletionFn fn);
+  /// Hot-path completion wiring: `by_rank` points at a rank-indexed Process*
+  /// table (owned by the Cluster, alive for the run). Completions call
+  /// Process::on_request_complete directly — no type-erased dispatch.
+  void set_processes(Process* const* by_rank);
 
-  /// Maps a rank to its socket's bandwidth domain (may return null).
-  using DomainLookup = std::function<memory::BandwidthDomain*(int rank)>;
+  /// Fallback completion seam for harnesses that drive the transport
+  /// without Process objects (tests, benches). Used only when no process
+  /// table is set.
+  void set_completion_handler(CompletionFn fn);
 
   /// Enables memory-bus accounting for intra-node payloads: a message
   /// between ranks of the same node is a pair of memory copies (source-side
@@ -85,11 +118,29 @@ class Transport {
   /// invokes to explain why the Fig. 1 measurement falls a factor ~2 short
   /// of the Eq. 1 model, which "ignores the communication between
   /// processes within a node". Control messages stay on the NIC path.
-  void set_memory_domains(DomainLookup lookup);
+  /// `by_rank` maps each rank to its socket's domain (entries may be null);
+  /// pass an empty vector to disable. Copied into pooled storage — repeated
+  /// wiring across reconfigure() runs allocates nothing once warm.
+  void set_memory_domains(const std::vector<memory::BandwidthDomain*>& by_rank);
+
+  /// Re-arms the transport for another run after the owning cluster reshaped
+  /// its topology/fabric/options: protocol state and wiring are cleared, but
+  /// every pool (rank queues, rendezvous slab, backlog table) keeps its
+  /// storage. Rank-state vectors are resized to the topology's current rank
+  /// count. Must be paired with an Engine::reset().
+  void reconfigure(const net::FabricProfile& fabric, Options options);
 
   /// Nonblocking send of `bytes` from `src` to `dst`.
-  void post_send(int src, int dst, int tag, std::int64_t bytes,
-                 RequestId request);
+  ///
+  /// Eager sends complete locally at a time known at post time (now + the
+  /// per-message overhead `o` — the sender "can get rid of its messages"),
+  /// so instead of scheduling a completion event the call returns that
+  /// local-completion delay and the caller owns it (Process folds it into
+  /// its WaitAll accounting; harnesses schedule their own event). Returns
+  /// nullopt for rendezvous sends, whose completion is event-driven and
+  /// arrives through the completion wiring.
+  std::optional<Duration> post_send(int src, int dst, int tag,
+                                    std::int64_t bytes, RequestId request);
 
   /// Nonblocking receive at `dst` for a message from `src`.
   void post_recv(int dst, int src, int tag, std::int64_t bytes,
@@ -102,6 +153,7 @@ class Transport {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::int64_t eager_limit() const { return eager_limit_; }
+  [[nodiscard]] PoolStats pool_stats() const;
 
   /// End-to-end duration between posting a send and the matching receive
   /// completing, for a message posted into an otherwise idle transport with
@@ -120,66 +172,115 @@ class Transport {
     RequestId request;
   };
 
-  struct RtsRecord {
-    std::uint64_t send_uid;
-    Envelope envelope;
-  };
-
+  /// In-flight rendezvous record, pooled in `rdv_slab_` and addressed by
+  /// slot index. The slot travels through the RTS/CTS/push event closures.
   struct RdvSend {
     Envelope envelope;
     RequestId send_request = -1;
     RequestId recv_request = -1;  ///< filled in when the CTS is issued
   };
 
+  struct RtsRecord {
+    std::uint32_t slot;
+    Envelope envelope;
+  };
+
   struct RankState {
-    std::deque<PostedRecv> posted_recvs;
-    std::deque<Envelope> unexpected_eager;
-    std::deque<RtsRecord> unexpected_rts;
+    RingQueue<PostedRecv> posted_recvs;
+    RingQueue<Envelope> unexpected_eager;
+    RingQueue<RtsRecord> unexpected_rts;
     SimTime nic_free = SimTime::zero();
     int outstanding_handshakes = 0;        ///< RTS sent, CTS not yet received
-    std::vector<std::uint64_t> deferred;   ///< handshake-complete, push held
+    std::vector<std::uint32_t> deferred;   ///< handshake-complete, push held
   };
 
   [[nodiscard]] const net::LinkParams& link(int a, int b) const;
-  RankState& state(int rank);
+  RankState& state(int rank) {
+    return ranks_[static_cast<std::size_t>(rank)];
+  }
 
-  /// Injects a message into `src`'s NIC; returns the arrival time at dst.
-  SimTime inject(int src, int dst, std::int64_t payload_bytes);
+  /// Injects a message into `src`'s NIC (link parameters already resolved
+  /// by the caller — each protocol op classifies its link exactly once);
+  /// returns the arrival time at the destination.
+  SimTime inject(const net::LinkParams& p, int src, std::int64_t payload_bytes);
 
-  /// Moves `bytes` of payload from src to dst. `on_injected` fires when the
-  /// sender has fully handed the data off (its local completion point for
-  /// rendezvous sends); `on_arrival` fires when the payload is available at
-  /// the destination. Uses the NIC path across nodes and the memory-copy
-  /// path within a node when domains are configured. The continuations are
+  /// Moves `bytes` of payload from src to dst over the already-classified
+  /// link `cls`. `on_injected` (may be empty) fires when the sender has
+  /// fully handed the data off (its local completion point for rendezvous
+  /// sends); `on_arrival` fires when the payload is available at the
+  /// destination. Uses the NIC path across nodes and the memory-copy path
+  /// within a node when domains are configured. The continuations are
   /// one-shot move-only closures: they travel through the protocol layers
   /// by move, never by copy.
-  void transfer(int src, int dst, std::int64_t bytes, sim::EventFn on_injected,
-                sim::EventFn on_arrival);
+  void transfer(net::LinkClass cls, int src, int dst, std::int64_t bytes,
+                sim::EventFn on_injected, sim::EventFn on_arrival);
 
-  void send_eager(int src, int dst, int tag, std::int64_t bytes,
-                  RequestId request);
-  void send_rendezvous(int src, int dst, int tag, std::int64_t bytes,
-                       RequestId request);
-  void on_eager_arrival(const Envelope& envelope);
-  void on_rts_arrival(std::uint64_t send_uid);
-  void issue_cts(std::uint64_t send_uid, RequestId recv_request);
-  void on_cts_arrival(std::uint64_t send_uid);
-  void push_data(std::uint64_t send_uid);
+  void check_ranks(int src, int dst) const {
+    IW_REQUIRE(src >= 0 && dst >= 0 &&
+                   static_cast<std::size_t>(src) < nranks_ &&
+                   static_cast<std::size_t>(dst) < nranks_,
+               "rank out of range");
+  }
+
+  /// Returns the sender's local-completion delay (the link overhead); the
+  /// caller owns the request's completion, so no id is taken.
+  Duration send_eager(net::LinkClass cls, int src, int dst, int tag,
+                      std::int64_t bytes);
+  void send_rendezvous(net::LinkClass cls, int src, int dst, int tag,
+                       std::int64_t bytes, RequestId request);
+  void on_eager_arrival(const Envelope& envelope, Duration overhead);
+  void on_rts_arrival(std::uint32_t slot);
+  void issue_cts(std::uint32_t slot, RequestId recv_request);
+  void on_cts_arrival(std::uint32_t slot);
+  void push_data(std::uint32_t slot);
   void complete(int rank, RequestId request, Duration delay);
+  void deliver(int rank, RequestId request);
 
-  [[nodiscard]] std::int64_t eager_backlog(int src, int dst) const;
+  [[nodiscard]] memory::BandwidthDomain* domain_of(int rank) const {
+    return use_domains_ ? domains_by_rank_[static_cast<std::size_t>(rank)]
+                        : nullptr;
+  }
+
+  [[nodiscard]] std::size_t backlog_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * nranks_ +
+           static_cast<std::size_t>(dst);
+  }
+  [[nodiscard]] std::int64_t eager_backlog(int src, int dst) const {
+    return track_backlog_ ? eager_backlog_[backlog_index(src, dst)] : 0;
+  }
+
+  std::uint32_t acquire_rdv();
+  void release_rdv(std::uint32_t slot);
+
+  /// push_back that counts a capacity growth as a pool allocation.
+  template <typename T>
+  void push_counted(std::vector<T>& v, T value) {
+    if (v.size() == v.capacity()) ++pool_allocations_;
+    v.push_back(std::move(value));
+  }
 
   sim::Engine& engine_;
   const net::Topology& topo_;
   net::FabricProfile fabric_;
   Options options_;
-  std::int64_t eager_limit_;
+  std::int64_t eager_limit_ = 0;
+  std::size_t nranks_ = 0;
+
+  // Rank-indexed wiring (devirtualized callbacks).
+  Process* const* procs_ = nullptr;
   CompletionFn on_complete_;
-  DomainLookup domain_lookup_;
+  std::vector<memory::BandwidthDomain*> domains_by_rank_;
+  bool use_domains_ = false;
+
+  // Pools. All storage survives reconfigure(); only logical state resets.
   std::vector<RankState> ranks_;
-  std::unordered_map<std::uint64_t, RdvSend> rdv_sends_;
-  std::unordered_map<std::int64_t, std::int64_t> eager_backlog_;
-  std::uint64_t next_uid_ = 0;
+  std::vector<RdvSend> rdv_slab_;
+  std::vector<std::uint32_t> rdv_free_;
+  std::vector<std::int64_t> eager_backlog_;  ///< ranks^2, finite capacity only
+  bool track_backlog_ = false;
+  std::vector<std::uint32_t> deferred_scratch_;  ///< flush staging buffer
+  std::uint64_t pool_allocations_ = 0;
+
   Stats stats_;
 };
 

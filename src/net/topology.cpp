@@ -28,15 +28,23 @@ Topology::Topology(const TopologySpec& spec)
   IW_REQUIRE(spec_.sockets_per_node > 0, "sockets_per_node must be positive");
   IW_REQUIRE(per_socket_ <= spec_.cores_per_socket,
              "cannot place more ranks on a socket than it has cores");
+  socket_by_rank_.reserve(static_cast<std::size_t>(spec_.ranks));
+  node_by_rank_.reserve(static_cast<std::size_t>(spec_.ranks));
+  for (int rank = 0; rank < spec_.ranks; ++rank) {
+    const int socket = rank / per_socket_;
+    socket_by_rank_.push_back(socket);
+    node_by_rank_.push_back(socket / spec_.sockets_per_node);
+  }
 }
 
 int Topology::socket_of(int rank) const {
   IW_REQUIRE(rank >= 0 && rank < spec_.ranks, "rank out of range");
-  return rank / per_socket_;
+  return socket_by_rank_[static_cast<std::size_t>(rank)];
 }
 
 int Topology::node_of(int rank) const {
-  return socket_of(rank) / spec_.sockets_per_node;
+  IW_REQUIRE(rank >= 0 && rank < spec_.ranks, "rank out of range");
+  return node_by_rank_[static_cast<std::size_t>(rank)];
 }
 
 int Topology::sockets() const {
@@ -45,15 +53,6 @@ int Topology::sockets() const {
 
 int Topology::nodes() const {
   return (sockets() + spec_.sockets_per_node - 1) / spec_.sockets_per_node;
-}
-
-LinkClass Topology::classify(int a, int b) const {
-  IW_REQUIRE(a >= 0 && a < spec_.ranks && b >= 0 && b < spec_.ranks,
-             "rank out of range");
-  if (a == b) return LinkClass::self;
-  if (socket_of(a) == socket_of(b)) return LinkClass::intra_socket;
-  if (node_of(a) == node_of(b)) return LinkClass::inter_socket;
-  return LinkClass::inter_node;
 }
 
 }  // namespace iw::net

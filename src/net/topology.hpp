@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/link.hpp"
 
@@ -40,12 +41,27 @@ class Topology {
   [[nodiscard]] int sockets() const;  ///< number of (partially) occupied sockets
   [[nodiscard]] int nodes() const;    ///< number of (partially) occupied nodes
 
-  /// Classifies the link between two ranks.
-  [[nodiscard]] LinkClass classify(int a, int b) const;
+  /// Classifies the link between two ranks. O(1): rank -> socket/node is
+  /// precomputed at construction, so the per-message hot path never
+  /// divides (the transport classifies every send, arrival, and handshake
+  /// leg against this).
+  [[nodiscard]] LinkClass classify(int a, int b) const {
+    IW_REQUIRE(a >= 0 && a < spec_.ranks && b >= 0 && b < spec_.ranks,
+               "rank out of range");
+    const auto ia = static_cast<std::size_t>(a);
+    const auto ib = static_cast<std::size_t>(b);
+    if (a == b) return LinkClass::self;
+    if (socket_by_rank_[ia] == socket_by_rank_[ib])
+      return LinkClass::intra_socket;
+    if (node_by_rank_[ia] == node_by_rank_[ib]) return LinkClass::inter_socket;
+    return LinkClass::inter_node;
+  }
 
  private:
   TopologySpec spec_;
   int per_socket_;
+  std::vector<std::int32_t> socket_by_rank_;
+  std::vector<std::int32_t> node_by_rank_;
 };
 
 }  // namespace iw::net

@@ -24,6 +24,26 @@ std::uint64_t Calendar::schedule(SimTime when, EventFn fn) {
   return seq;
 }
 
+void Calendar::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slab_.reserve(events);
+  chain_next_.reserve(events);
+  slot_seq_.reserve(events);
+  free_slots_.reserve(events);
+}
+
+void Calendar::reset() noexcept {
+  heap_.clear();
+  slab_.clear();  // destroys any pending closures; capacity is retained
+  chain_next_.clear();
+  slot_seq_.clear();
+  free_slots_.clear();
+  times_.clear();
+  next_seq_ = 0;
+  live_ = 0;
+  peak_size_ = 0;
+}
+
 SimTime Calendar::next_time() const {
   IW_REQUIRE(!heap_.empty(), "next_time on empty calendar");
   return SimTime{heap_.front().when_ns};
@@ -136,6 +156,12 @@ void Calendar::TimeIndex::erase(std::int64_t when_ns) noexcept {
       return;
     }
   }
+}
+
+void Calendar::TimeIndex::clear() noexcept {
+  for (Cell& c : cells_) c.state = kFree;
+  used_ = 0;
+  tombs_ = 0;
 }
 
 void Calendar::TimeIndex::rehash(std::size_t capacity) {

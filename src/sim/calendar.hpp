@@ -43,6 +43,17 @@ class Calendar {
   /// is expressed by the closure checking its own validity flag).
   std::uint64_t schedule(SimTime when, EventFn fn);
 
+  /// Pre-sizes the slab, heap, and free list for `events` simultaneously
+  /// pending events, so a run of known shape never reallocates.
+  void reserve(std::size_t events);
+
+  /// Discards every pending event and restores the pristine state (seq
+  /// counter and peak tracking included) while keeping all heap capacity —
+  /// the slab, chain links, free list, and time index stay allocated. A
+  /// reset calendar behaves exactly like a freshly constructed one, which
+  /// is what makes cluster reuse byte-deterministic.
+  void reset() noexcept;
+
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
@@ -90,6 +101,9 @@ class Calendar {
     std::uint32_t* find_or_insert(std::int64_t when_ns, std::uint32_t tail);
     /// Erases a timestamp (must be present).
     void erase(std::int64_t when_ns) noexcept;
+
+    /// Drops every entry; table storage is retained.
+    void clear() noexcept;
 
    private:
     enum : std::uint32_t { kFree = 0, kUsed = 1, kTomb = 2 };

@@ -34,6 +34,20 @@ class Engine {
   /// Requests the run loop to exit after the current event.
   void stop() { stopped_ = true; }
 
+  /// Rewinds the engine to its freshly constructed state — clock at zero,
+  /// counters cleared, every pending event discarded — while keeping the
+  /// calendar's slab capacity. The reuse path (Cluster::reset) relies on a
+  /// reset engine being indistinguishable from a new one.
+  void reset() noexcept {
+    calendar_.reset();
+    now_ = SimTime::zero();
+    stopped_ = false;
+    processed_ = 0;
+  }
+
+  /// Pre-sizes the calendar for `events` simultaneously pending events.
+  void reserve_events(std::size_t events) { calendar_.reserve(events); }
+
   [[nodiscard]] bool stopped() const { return stopped_; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] std::size_t events_pending() const { return calendar_.size(); }

@@ -1,0 +1,104 @@
+// A pooled FIFO ring buffer with ordered middle erase.
+//
+// The transport's per-endpoint queues (posted receives, unexpected eager
+// arrivals, unexpected RTS records) are tiny in steady state but churn on
+// every message. std::deque pays for that churn with block allocations and
+// poor locality; RingQueue keeps one contiguous power-of-two buffer that
+// grows geometrically and is then reused for the rest of the simulation —
+// and, via clear(), across simulation runs. Matching scans index the queue
+// logically (operator[]), and erase(i) preserves FIFO order by shifting the
+// shorter side, which is O(1) in the dominant match-at-the-front case.
+//
+// grows() counts buffer reallocations so callers can assert the
+// steady-state zero-allocation property (see Transport::pool_stats()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace iw {
+
+template <typename T>
+class RingQueue {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Number of buffer growths since construction (heap-allocation events).
+  [[nodiscard]] std::uint64_t grows() const noexcept { return grows_; }
+
+  /// Element at logical position `i` (0 = oldest).
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    return buf_[slot(i)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return buf_[slot(i)];
+  }
+
+  [[nodiscard]] T& front() {
+    IW_ASSERT(size_ > 0, "front() on an empty RingQueue");
+    return buf_[head_];
+  }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[slot(size_)] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    IW_ASSERT(size_ > 0, "pop_front() on an empty RingQueue");
+    head_ = next(head_);
+    --size_;
+  }
+
+  /// Removes the element at logical position `i`, preserving the relative
+  /// order of everything else. Shifts whichever side is shorter.
+  void erase(std::size_t i) {
+    IW_ASSERT(i < size_, "erase() out of range");
+    if (i < size_ - i - 1) {
+      // Shift the front segment toward the erased hole, advance the head.
+      for (std::size_t j = i; j > 0; --j) buf_[slot(j)] = std::move(buf_[slot(j - 1)]);
+      head_ = next(head_);
+    } else {
+      for (std::size_t j = i; j + 1 < size_; ++j)
+        buf_[slot(j)] = std::move(buf_[slot(j + 1)]);
+    }
+    --size_;
+  }
+
+  /// Empties the queue; the buffer (and its capacity) is retained.
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot(std::size_t i) const noexcept {
+    return (head_ + i) & (buf_.size() - 1);
+  }
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) & (buf_.size() - 1);
+  }
+
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> bigger(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) bigger[i] = std::move(buf_[slot(i)]);
+    buf_ = std::move(bigger);
+    head_ = 0;
+    ++grows_;
+  }
+
+  std::vector<T> buf_;  ///< power-of-two sized (or empty)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace iw

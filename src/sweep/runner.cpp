@@ -42,6 +42,10 @@ struct Collector {
   }
 
   void worker() {
+    // Each worker recycles one Cluster across the points it claims
+    // (calendar slab, transport pools, process objects); reused clusters
+    // are byte-identical to fresh ones, so claim order stays irrelevant.
+    core::WaveRunner lab;
     for (;;) {
       // A failed point poisons the campaign; don't burn wall-clock
       // simulating points whose records can never be delivered.
@@ -49,8 +53,7 @@ struct Collector {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) return;
       try {
-        SweepRecord rec =
-            reduce(points[i], core::run_wave_experiment(points[i].exp));
+        SweepRecord rec = reduce(points[i], lab.run(points[i].exp));
         std::lock_guard<std::mutex> lock(mutex);
         records[i] = std::move(rec);
         done[i] = 1;

@@ -39,6 +39,74 @@ TEST(Cluster, RunIsSingleShot) {
   EXPECT_THROW((void)cluster.run(programs), std::invalid_argument);
 }
 
+TEST(Cluster, ResetReproducesAFreshRunExactly) {
+  workload::RingSpec ring;
+  ring.ranks = 6;
+  ring.steps = 6;
+  ring.texec = milliseconds(1.0);
+  const ClusterConfig config = cluster_for_ring(ring);
+  const auto programs = workload::build_ring(ring);
+
+  Cluster fresh(config);
+  const auto want = fresh.run(programs);
+
+  Cluster reused(config);
+  (void)reused.run(programs);
+  reused.reset(config);
+  const auto got = reused.run(programs);
+
+  ASSERT_EQ(got.ranks(), want.ranks());
+  for (int r = 0; r < got.ranks(); ++r) {
+    EXPECT_EQ(got.finish(r), want.finish(r));
+    ASSERT_EQ(got.segments(r).size(), want.segments(r).size());
+    for (std::size_t s = 0; s < got.segments(r).size(); ++s) {
+      EXPECT_EQ(got.segments(r)[s].begin, want.segments(r)[s].begin);
+      EXPECT_EQ(got.segments(r)[s].end, want.segments(r)[s].end);
+      EXPECT_EQ(got.segments(r)[s].kind, want.segments(r)[s].kind);
+    }
+  }
+  EXPECT_EQ(reused.events_processed(), fresh.events_processed());
+}
+
+TEST(Cluster, ResetCanReshapeTheTopology) {
+  workload::RingSpec small;
+  small.ranks = 4;
+  small.steps = 2;
+  small.noisy = false;
+  workload::RingSpec big;
+  big.ranks = 10;
+  big.steps = 2;
+  big.noisy = false;
+
+  Cluster cluster(cluster_for_ring(small));
+  EXPECT_EQ(cluster.run(workload::build_ring(small)).ranks(), 4);
+  cluster.reset(cluster_for_ring(big));
+  EXPECT_EQ(cluster.topology().ranks(), 10);
+  EXPECT_EQ(cluster.run(workload::build_ring(big)).ranks(), 10);
+  cluster.reset(cluster_for_ring(small));
+  EXPECT_EQ(cluster.run(workload::build_ring(small)).ranks(), 4);
+}
+
+TEST(Cluster, ReusedRunsStopGrowingTransportPools) {
+  workload::RingSpec ring;
+  ring.ranks = 8;
+  ring.steps = 10;
+  ring.noisy = false;
+  const ClusterConfig config = cluster_for_ring(ring);
+  const auto programs = workload::build_ring(ring);
+
+  Cluster cluster(config);
+  (void)cluster.run(programs);  // warm every pool
+  cluster.reset(config);
+  (void)cluster.run(programs);
+  const auto warm = cluster.transport_pool_stats();
+  for (int i = 0; i < 3; ++i) {
+    cluster.reset(config);
+    (void)cluster.run(programs);
+  }
+  EXPECT_EQ(cluster.transport_pool_stats().allocations, warm.allocations);
+}
+
 TEST(Cluster, ProgramCountMustMatchRanks) {
   workload::RingSpec ring;
   ring.ranks = 4;

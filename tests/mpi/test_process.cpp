@@ -27,9 +27,9 @@ class ProcessFixture {
   }
 
   void run(std::vector<Program> programs) {
-    for (std::size_t r = 0; r < programs.size(); ++r) {
-      procs_[r]->set_program(
-          std::make_shared<const Program>(std::move(programs[r])));
+    programs_ = std::move(programs);  // processes borrow, fixture owns
+    for (std::size_t r = 0; r < programs_.size(); ++r) {
+      procs_[r]->set_program(&programs_[r]);
       procs_[r]->start();
     }
     engine_.run();
@@ -40,6 +40,7 @@ class ProcessFixture {
   net::FabricProfile fabric_;
   Transport transport_;
   Trace trace_;
+  std::vector<Program> programs_;
   std::vector<std::unique_ptr<Process>> procs_;
 };
 
@@ -145,7 +146,7 @@ TEST(Process, MemWorkWithoutDomainThrows) {
   ProcessFixture f(1);
   Program p;
   p.mem_work(100);
-  f.procs_[0]->set_program(std::make_shared<const Program>(std::move(p)));
+  f.procs_[0]->set_program(&p);
   f.procs_[0]->start();
   EXPECT_THROW(f.engine_.run(), std::invalid_argument);
 }
@@ -153,7 +154,8 @@ TEST(Process, MemWorkWithoutDomainThrows) {
 TEST(Process, DoneHandlerFires) {
   ProcessFixture f(1);
   int done_rank = -1;
-  f.procs_[0]->set_done_handler([&](int r) { done_rank = r; });
+  f.procs_[0]->set_done_handler(
+      {[](void* ctx, int r) { *static_cast<int*>(ctx) = r; }, &done_rank});
   Program p;
   p.compute(milliseconds(1.0), false);
   f.run({std::move(p)});

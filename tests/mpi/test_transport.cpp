@@ -29,6 +29,18 @@ class TransportFixture {
     });
   }
 
+  /// Posts a send; an eager send returns its local-completion delay, which
+  /// the fixture converts back into a recorded completion (Process does the
+  /// equivalent folding into its WaitAll accounting in production).
+  void post_send(int src, int dst, int tag, std::int64_t bytes,
+                 RequestId req) {
+    if (const auto local = transport_.post_send(src, dst, tag, bytes, req)) {
+      engine_.after(*local, [this, src, req] {
+        completions_[{src, req}] = engine_.now();
+      });
+    }
+  }
+
   [[nodiscard]] bool completed(int rank, RequestId req) const {
     return completions_.count({rank, req}) > 0;
   }
@@ -46,7 +58,7 @@ class TransportFixture {
 TEST(Transport, EagerSenderCompletesLocally) {
   TransportFixture f(2);
   // No receive posted: the eager sender must still complete (buffering).
-  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
   f.engine_.run();
   EXPECT_TRUE(f.completed(0, 0));
   EXPECT_FALSE(f.completed(1, 0));
@@ -57,7 +69,7 @@ TEST(Transport, EagerSenderCompletesLocally) {
 TEST(Transport, EagerRecvFirstThenSend) {
   TransportFixture f(2);
   f.transport_.post_recv(1, 0, 7, 1000, 3);
-  f.transport_.post_send(0, 1, 7, 1000, 5);
+  f.post_send(0, 1, 7, 1000, 5);
   f.engine_.run();
   EXPECT_TRUE(f.completed(1, 3));
   EXPECT_TRUE(f.completed(0, 5));
@@ -65,7 +77,7 @@ TEST(Transport, EagerRecvFirstThenSend) {
 
 TEST(Transport, EagerSendFirstThenRecvMatchesUnexpected) {
   TransportFixture f(2);
-  f.transport_.post_send(0, 1, 7, 1000, 0);
+  f.post_send(0, 1, 7, 1000, 0);
   f.engine_.run();
   EXPECT_FALSE(f.completed(1, 9));
   f.transport_.post_recv(1, 0, 7, 1000, 9);
@@ -77,7 +89,7 @@ TEST(Transport, EagerRecvTimingMatchesModel) {
   // ideal fabric: latency 1 us, 1 GB/s, zero overhead/gap.
   TransportFixture f(2);
   f.transport_.post_recv(1, 0, 0, 1000, 0);
-  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
   f.engine_.run();
   // arrival = 1 us latency + 1000 B / 1 GB/s = 1 us -> 2 us total.
   EXPECT_EQ(f.completion_time(1, 0), SimTime{2000});
@@ -87,7 +99,7 @@ TEST(Transport, EagerRecvTimingMatchesModel) {
 TEST(Transport, TagsDiscriminate) {
   TransportFixture f(2);
   f.transport_.post_recv(1, 0, /*tag=*/1, 100, 0);
-  f.transport_.post_send(0, 1, /*tag=*/2, 100, 0);
+  f.post_send(0, 1, /*tag=*/2, 100, 0);
   f.engine_.run();
   EXPECT_FALSE(f.completed(1, 0));  // tag mismatch: stays unexpected
   f.transport_.post_recv(1, 0, /*tag=*/2, 100, 1);
@@ -98,10 +110,10 @@ TEST(Transport, TagsDiscriminate) {
 TEST(Transport, SourcesDiscriminate) {
   TransportFixture f(3);
   f.transport_.post_recv(2, /*src=*/1, 0, 100, 0);
-  f.transport_.post_send(0, 2, 0, 100, 0);  // from rank 0: no match
+  f.post_send(0, 2, 0, 100, 0);  // from rank 0: no match
   f.engine_.run();
   EXPECT_FALSE(f.completed(2, 0));
-  f.transport_.post_send(1, 2, 0, 100, 0);
+  f.post_send(1, 2, 0, 100, 0);
   f.engine_.run();
   EXPECT_TRUE(f.completed(2, 0));
 }
@@ -111,8 +123,8 @@ TEST(Transport, FifoMatchingPerSource) {
   // Two sends same (src, tag); two recvs: first recv gets first message.
   f.transport_.post_recv(1, 0, 0, 100, 0);
   f.transport_.post_recv(1, 0, 0, 100, 1);
-  f.transport_.post_send(0, 1, 0, 100, 0);
-  f.transport_.post_send(0, 1, 0, 100, 1);
+  f.post_send(0, 1, 0, 100, 0);
+  f.post_send(0, 1, 0, 100, 1);
   f.engine_.run();
   ASSERT_TRUE(f.completed(1, 0));
   ASSERT_TRUE(f.completed(1, 1));
@@ -139,7 +151,7 @@ TEST(Transport, RendezvousWaitsForReceiver) {
   Transport::Options opt;
   opt.eager_limit_override = 0;  // force rendezvous for every size
   TransportFixture f(2, opt);
-  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
   f.engine_.run();
   // No receive posted: the sender must NOT complete.
   EXPECT_FALSE(f.completed(0, 0));
@@ -157,7 +169,7 @@ TEST(Transport, RendezvousTimingIncludesHandshake) {
   opt.eager_limit_override = 0;
   TransportFixture f(2, opt);
   f.transport_.post_recv(1, 0, 0, 1000, 0);
-  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
   f.engine_.run();
   // RTS 1 us + CTS 1 us + data (1 us latency + 1 us transfer) = 4 us.
   EXPECT_EQ(f.completion_time(1, 0), SimTime{4000});
@@ -174,8 +186,8 @@ TEST(Transport, DeferredPushHoldsDataWhileHandshakeOutstanding) {
   // Rank 0 sends to 1 (recv posted) and to 2 (no recv posted -> handshake
   // stuck). Under deferred_push the completed handshake to 1 must NOT push.
   f.transport_.post_recv(1, 0, 0, 1000, 0);
-  f.transport_.post_send(0, 1, 0, 1000, 0);
-  f.transport_.post_send(0, 2, 0, 1000, 1);
+  f.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 2, 0, 1000, 1);
   f.engine_.run();
   EXPECT_FALSE(f.completed(1, 0));
   EXPECT_FALSE(f.completed(0, 0));
@@ -196,8 +208,8 @@ TEST(Transport, IndependentPushesImmediately) {
   opt.pipelining = RendezvousPipelining::independent;
   TransportFixture f(3, opt);
   f.transport_.post_recv(1, 0, 0, 1000, 0);
-  f.transport_.post_send(0, 1, 0, 1000, 0);
-  f.transport_.post_send(0, 2, 0, 1000, 1);  // stuck, but must not block 0->1
+  f.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 2, 0, 1000, 1);  // stuck, but must not block 0->1
   f.engine_.run();
   EXPECT_TRUE(f.completed(1, 0));
   EXPECT_TRUE(f.completed(0, 0));
@@ -210,9 +222,9 @@ TEST(Transport, FiniteEagerBufferFallsBackToRendezvous) {
   TransportFixture f(2, opt);
   // First send fits; second would exceed the backlog cap while the first
   // is still unmatched -> rendezvous fallback.
-  f.transport_.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
   EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::rendezvous);
-  f.transport_.post_send(0, 1, 0, 1000, 1);
+  f.post_send(0, 1, 0, 1000, 1);
   f.engine_.run();
   EXPECT_TRUE(f.completed(0, 0));
   EXPECT_FALSE(f.completed(0, 1));  // rendezvous: waits for the receiver
@@ -226,14 +238,147 @@ TEST(Transport, FiniteEagerBufferFallsBackToRendezvous) {
   EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::eager);
 }
 
+TEST(Transport, EagerBufferFallbackTracksBacklogAcrossDrain) {
+  Transport::Options opt;
+  opt.eager_buffer_capacity = 2500;
+  TransportFixture f(2, opt);
+  // Three 1000 B sends: the first two fit the 2500 B backlog cap, the
+  // third must fall back to rendezvous while both are still unmatched.
+  f.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 1);
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::rendezvous);
+  f.post_send(0, 1, 0, 1000, 2);
+  f.engine_.run();
+  EXPECT_EQ(f.transport_.stats().eager_sends, 2u);
+  EXPECT_EQ(f.transport_.stats().eager_fallbacks, 1u);
+
+  // Draining ONE eager message frees 1000 B: 1000 (left) + 1000 (next)
+  // fits under 2500 again, so the protocol flips back after one drain.
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::eager);
+  // But a 2000 B eager send would still overflow (1000 + 2000 > 2500).
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 2000), WireProtocol::rendezvous);
+
+  // Full drain: match the second eager and the rendezvous fallback.
+  f.transport_.post_recv(1, 0, 0, 1000, 1);
+  f.transport_.post_recv(1, 0, 0, 1000, 2);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 2));
+  EXPECT_TRUE(f.completed(1, 2));
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 2000), WireProtocol::eager);
+}
+
+TEST(Transport, UnexpectedRtsMatchInArrivalOrder) {
+  Transport::Options opt;
+  opt.eager_limit_override = 0;  // every send is rendezvous
+  opt.pipelining = RendezvousPipelining::independent;
+  TransportFixture f(2, opt);
+  // Two same-(src, tag) RTS queue as unexpected; later receives must pair
+  // with them FIFO, so recv 0 gets send 0 and recv 1 gets send 1.
+  f.post_send(0, 1, 7, 1000, 0);
+  f.post_send(0, 1, 7, 1000, 1);
+  f.engine_.run();
+  EXPECT_EQ(f.transport_.stats().unexpected_rts, 2u);
+
+  f.transport_.post_recv(1, 0, 7, 1000, 0);
+  f.engine_.run();
+  // Only the first handshake is released by the first receive.
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_FALSE(f.completed(0, 1));
+
+  f.transport_.post_recv(1, 0, 7, 1000, 1);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 1));
+  EXPECT_TRUE(f.completed(1, 1));
+  EXPECT_LE(f.completion_time(1, 0), f.completion_time(1, 1));
+}
+
+TEST(Transport, DeferredPushCounterCountsEveryHeldPush) {
+  Transport::Options opt;
+  opt.eager_limit_override = 0;
+  TransportFixture f(4, opt);
+  // Rank 0 opens three handshakes; receivers 1 and 2 answer immediately,
+  // receiver 3 stays silent. Both completed handshakes must be held (two
+  // deferred pushes) until the third CTS clears the last handshake.
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.transport_.post_recv(2, 0, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 2, 0, 1000, 1);
+  f.post_send(0, 3, 0, 1000, 2);
+  f.engine_.run();
+  EXPECT_EQ(f.transport_.stats().deferred_pushes, 2u);
+  EXPECT_FALSE(f.completed(1, 0));
+  EXPECT_FALSE(f.completed(2, 0));
+
+  f.transport_.post_recv(3, 0, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_TRUE(f.completed(2, 0));
+  EXPECT_TRUE(f.completed(3, 0));
+  // Held pushes flush in CTS-arrival order, before the releasing push.
+  EXPECT_LE(f.completion_time(1, 0), f.completion_time(2, 0));
+  EXPECT_LE(f.completion_time(2, 0), f.completion_time(3, 0));
+  EXPECT_EQ(f.transport_.stats().deferred_pushes, 2u);
+}
+
+TEST(Transport, MidRunStopLeavesInFlightRendezvousRecoverable) {
+  Transport::Options opt;
+  opt.eager_limit_override = 0;
+  TransportFixture f(2, opt);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
+  // Stop the engine mid-handshake: the RTS (1 us flight) has not landed.
+  f.engine_.run_until(SimTime{500});
+  EXPECT_EQ(f.transport_.pool_stats().rdv_in_flight, 1u);
+  EXPECT_FALSE(f.completed(0, 0));
+
+  // Resuming drains the handshake; the record returns to the free list.
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_EQ(f.transport_.pool_stats().rdv_in_flight, 0u);
+}
+
+TEST(Transport, SteadyStateMessagePathAllocatesNothing) {
+  Transport::Options opt;
+  opt.eager_limit_override = 4096;  // small sends eager, large rendezvous
+  TransportFixture f(4, opt);
+
+  // One mixed round: pre-posted eager, unexpected eager, and a rendezvous
+  // exchange — every protocol path the steady state exercises.
+  const auto round = [&f](int reps) {
+    for (int r = 0; r < reps; ++r) {
+      f.transport_.post_recv(1, 0, 0, 1000, r * 8 + 0);    // pre-posted eager
+      f.post_send(0, 1, 0, 1000, r * 8 + 1);
+      f.post_send(2, 3, 0, 1000, r * 8 + 2);    // unexpected eager
+      f.engine_.run();
+      f.transport_.post_recv(3, 2, 0, 1000, r * 8 + 3);
+      f.post_send(1, 0, 0, 100'000, r * 8 + 4);  // rendezvous
+      f.transport_.post_recv(0, 1, 0, 100'000, r * 8 + 5);
+      f.engine_.run();
+    }
+  };
+
+  round(16);  // warm every pool
+  const Transport::PoolStats warm = f.transport_.pool_stats();
+  round(64);  // steady state: pools must not grow again
+  const Transport::PoolStats after = f.transport_.pool_stats();
+  EXPECT_EQ(after.allocations, warm.allocations);
+  EXPECT_EQ(after.rdv_in_flight, 0u);
+  EXPECT_GT(f.transport_.stats().eager_sends, 100u);
+  EXPECT_GT(f.transport_.stats().rendezvous_sends, 60u);
+}
+
 TEST(Transport, NicGapSerializesInjections) {
   net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
   for (auto& p : fabric.link) p.gap = microseconds(5.0);
   TransportFixture f(3, {}, fabric);
   f.transport_.post_recv(1, 0, 0, 0, 0);
   f.transport_.post_recv(2, 0, 0, 0, 0);
-  f.transport_.post_send(0, 1, 0, 0, 0);
-  f.transport_.post_send(0, 2, 0, 0, 1);
+  f.post_send(0, 1, 0, 0, 0);
+  f.post_send(0, 2, 0, 0, 1);
   f.engine_.run();
   // First message: gap 5 + latency 1 = 6 us. Second queues behind on the
   // sender NIC: 10 + 1 = 11 us.
@@ -243,7 +388,7 @@ TEST(Transport, NicGapSerializesInjections) {
 
 TEST(Transport, SelfSendRejected) {
   TransportFixture f(2);
-  EXPECT_THROW((void)f.transport_.post_send(0, 0, 0, 10, 0),
+  EXPECT_THROW((void)f.post_send(0, 0, 0, 10, 0),
                std::invalid_argument);
   EXPECT_THROW((void)f.transport_.post_recv(1, 1, 0, 10, 0),
                std::invalid_argument);
@@ -270,7 +415,7 @@ TEST(Transport, IntraNodePayloadChargesMemoryDomains) {
   net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e12);
   Transport tr(engine, topo, fabric, {});
   memory::BandwidthDomain domain(engine, 10e9, 10e9);
-  tr.set_memory_domains([&](int) { return &domain; });
+  tr.set_memory_domains({&domain, &domain, &domain, &domain});
   SimTime recv_done;
   tr.set_completion_handler([&](int rank, RequestId req) {
     if (rank == 1 && req == 0) recv_done = engine.now();
@@ -290,7 +435,7 @@ TEST(Transport, InterNodePayloadKeepsNicPath) {
   net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
   Transport tr(engine, topo, fabric, {});
   memory::BandwidthDomain domain(engine, 10e9, 10e9);
-  tr.set_memory_domains([&](int) { return &domain; });
+  tr.set_memory_domains({&domain, &domain});
   SimTime recv_done;
   tr.set_completion_handler([&](int rank, RequestId req) {
     if (rank == 1 && req == 0) recv_done = engine.now();
@@ -310,7 +455,7 @@ TEST(Transport, MemoryPathCopiesContendWithComputeJobs) {
   net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(0.0), 1e12);
   Transport tr(engine, topo, fabric, {});
   memory::BandwidthDomain domain(engine, 10e9, 10e9);
-  tr.set_memory_domains([&](int) { return &domain; });
+  tr.set_memory_domains({&domain, &domain, &domain, &domain});
   SimTime compute_done, recv_done;
   tr.set_completion_handler([&](int rank, RequestId req) {
     if (rank == 1 && req == 0) recv_done = engine.now();

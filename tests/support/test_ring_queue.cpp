@@ -1,0 +1,78 @@
+// Tests for the pooled ring buffer behind the transport's matching queues:
+// FIFO semantics, ordered middle erase (both shift directions), growth
+// accounting, and capacity retention across clear().
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/ring_queue.hpp"
+
+namespace iw {
+namespace {
+
+TEST(RingQueue, FifoPushPop) {
+  RingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, LogicalIndexingFollowsHeadAroundTheWrap) {
+  RingQueue<int> q;
+  // Force a wrapped layout: fill past the initial capacity boundary while
+  // popping, so head_ sits mid-buffer.
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  for (int i = 0; i < 6; ++i) q.pop_front();
+  for (int i = 8; i < 13; ++i) q.push_back(i);
+  ASSERT_EQ(q.size(), 7u);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EXPECT_EQ(q[i], static_cast<int>(i) + 6);
+}
+
+TEST(RingQueue, EraseKeepsRelativeOrderBothDirections) {
+  for (const std::size_t victim : {std::size_t{1}, std::size_t{4}}) {
+    RingQueue<int> q;
+    for (int i = 0; i < 6; ++i) q.push_back(i);
+    q.erase(victim);  // 1 shifts the front side, 4 the back side
+    std::vector<int> got;
+    for (std::size_t i = 0; i < q.size(); ++i) got.push_back(q[i]);
+    std::vector<int> want;
+    for (int i = 0; i < 6; ++i)
+      if (static_cast<std::size_t>(i) != victim) want.push_back(i);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RingQueue, EraseFrontAndBackAreCheap) {
+  RingQueue<int> q;
+  for (int i = 0; i < 4; ++i) q.push_back(i);
+  q.erase(0);
+  EXPECT_EQ(q.front(), 1);
+  q.erase(q.size() - 1);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0], 1);
+  EXPECT_EQ(q[1], 2);
+}
+
+TEST(RingQueue, GrowthIsCountedAndClearRetainsCapacity) {
+  RingQueue<int> q;
+  EXPECT_EQ(q.grows(), 0u);
+  for (int i = 0; i < 9; ++i) q.push_back(i);  // 8 -> 16 growth at the 9th
+  EXPECT_EQ(q.grows(), 2u);
+  const std::size_t cap = q.capacity();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), cap);
+  // Refilling to the old size allocates nothing new.
+  for (int i = 0; i < 9; ++i) q.push_back(i);
+  EXPECT_EQ(q.grows(), 2u);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EXPECT_EQ(q[i], static_cast<int>(i));
+}
+
+}  // namespace
+}  // namespace iw

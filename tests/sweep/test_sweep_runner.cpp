@@ -190,6 +190,37 @@ TEST(SweepRunner, ThreadCountInvarianceHoldsForGridCampaigns) {
   }
 }
 
+TEST(SweepRunner, ReusedClusterMatchesFreshClustersByteForByte) {
+  // The determinism guard for the cluster-reuse fast path: one WaveRunner
+  // recycling its Cluster across consecutive points must produce CSV output
+  // byte-identical to a fresh Cluster per point. Axes change np and message
+  // size between points, so the reset path re-shapes every pool.
+  SweepSpec spec;
+  spec.delay_ms = {6, 12, 24};
+  spec.msg_bytes = {8192, 262144};
+  spec.np = {8, 12};
+  spec.steps = 8;
+  const auto points = expand(spec);
+  ASSERT_GE(points.size(), 3u);
+
+  const std::string fresh_csv = "sweep_fresh.tmp.csv";
+  const std::string reused_csv = "sweep_reused.tmp.csv";
+  {
+    CsvSink sink(fresh_csv);
+    for (const SweepPoint& p : points)
+      sink.write(reduce(p, core::run_wave_experiment(p.exp)));
+  }
+  {
+    CsvSink sink(reused_csv);
+    core::WaveRunner lab;
+    for (const SweepPoint& p : points) sink.write(reduce(p, lab.run(p.exp)));
+  }
+  const std::string a = slurp(fresh_csv), b = slurp(reused_csv);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  for (const auto& path : {fresh_csv, reused_csv}) std::remove(path.c_str());
+}
+
 TEST(SweepRecord, ReduceCarriesAxesAndObservables) {
   SweepSpec spec = tiny_campaign();
   spec.delay_ms = {12};
