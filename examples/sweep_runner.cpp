@@ -64,22 +64,8 @@ int sweep_main(int argc, char** argv) {
   spec.delay_ms = cli.get_list_or("delay-ms", spec.delay_ms);
   spec.msg_bytes = cli.get_list_or("msg-bytes", spec.msg_bytes);
   spec.noise_E_percent = cli.get_list_or("noise", spec.noise_E_percent);
-  const auto int_list = [&cli](const std::string& key,
-                               std::vector<int> fallback) {
-    if (!cli.has(key)) return fallback;
-    std::vector<int> out;
-    for (const std::int64_t v :
-         cli.get_list_or(key, std::vector<std::int64_t>{})) {
-      if (v < std::numeric_limits<int>::min() ||
-          v > std::numeric_limits<int>::max())
-        throw std::invalid_argument("--" + key + ": value out of range: " +
-                                    std::to_string(v));
-      out.push_back(static_cast<int>(v));
-    }
-    return out;
-  };
-  spec.np = int_list("np", spec.np);
-  spec.ppn = int_list("ppn", spec.ppn);
+  spec.np = cli.get_int_list_or("np", spec.np);
+  spec.ppn = cli.get_int_list_or("ppn", spec.ppn);
   spec.steps = static_cast<int>(
       cli.get_or("steps", static_cast<std::int64_t>(spec.steps)));
   spec.campaign_seed = static_cast<std::uint64_t>(cli.get_or(

@@ -1,0 +1,161 @@
+// Golden-corpus verification CLI: replay catalog scenarios and certify them
+// against checked-in reference results and the analytic oracles.
+//
+//   ./build/examples/verify_runner --all                  # full certification
+//   ./build/examples/verify_runner --all --quick          # CI subset
+//   ./build/examples/verify_runner --scenario=decay_vs_size --json=verdict.json
+//   ./build/examples/verify_runner --all --quick --self-check
+//   ./build/examples/verify_runner --all --update-goldens # refresh corpus
+//
+// Exit codes: 0 = every selected scenario passed (zero field diffs, zero
+// oracle violations, every mutation probe caught); 1 = verification failed;
+// 2 = usage error. --json writes the machine-readable verdict with every
+// offending scenario/record/field named.
+//
+// --update-goldens reruns the *full* campaigns and rewrites tests/golden/.
+// Only legitimate after a change that intentionally alters simulation
+// physics or the record schema — never to quiet a failing perf PR.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "sweep/scenario.hpp"
+#include "verify/verify.hpp"
+
+// Default corpus location, baked at configure time so a fresh checkout
+// verifies without flags; overridable with --goldens for tests/tooling.
+#ifndef IW_GOLDEN_DIR
+#define IW_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace iw;
+
+std::vector<const sweep::Scenario*> select_scenarios(const Cli& cli) {
+  std::vector<const sweep::Scenario*> selected;
+  if (cli.has("all")) {
+    for (const sweep::Scenario& s : sweep::scenario_catalog())
+      selected.push_back(&s);
+    return selected;
+  }
+  const std::string name = cli.get_or("scenario", std::string{});
+  if (const sweep::Scenario* s = sweep::find_scenario(name)) {
+    selected.push_back(s);
+    return selected;
+  }
+  std::cerr << (name.empty() ? "pick --scenario=<name> or --all"
+                             : "unknown scenario: " + name)
+            << "\nknown:";
+  for (const auto& known : sweep::scenario_names()) std::cerr << ' ' << known;
+  std::cerr << '\n';
+  return {};
+}
+
+int verify_main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  cli.allow_only({"scenario", "all", "quick", "update-goldens", "self-check",
+                  "goldens", "json", "threads", "quiet"});
+
+  verify::VerifyOptions options;
+  options.golden_dir = cli.get_or("goldens", std::string{IW_GOLDEN_DIR});
+  options.quick = cli.has("quick");
+  options.threads = static_cast<int>(cli.get_or("threads", std::int64_t{1}));
+  options.self_check = cli.has("self-check");
+  const bool quiet = cli.has("quiet");
+
+  const auto selected = select_scenarios(cli);
+  if (selected.empty()) return 2;
+
+  if (cli.has("update-goldens")) {
+    for (const sweep::Scenario* s : selected) {
+      const std::string path = verify::update_golden(*s, options);
+      if (!quiet) std::cout << "wrote golden: " << path << '\n';
+    }
+    return 0;
+  }
+
+  std::vector<verify::ScenarioVerdict> verdicts;
+  for (const sweep::Scenario* s : selected) {
+    verdicts.push_back(verify::verify_scenario(*s, options));
+    const verify::ScenarioVerdict& v = verdicts.back();
+    if (quiet) continue;
+    std::cerr << "  " << v.scenario << ": " << (v.pass() ? "pass" : "FAIL")
+              << " (" << v.records_run << " points, "
+              << fmt_fixed(v.seconds, 2) << " s)\n";
+  }
+
+  if (!quiet) {
+    TextTable table;
+    table.columns({"scenario", "points", "field diffs", "structural",
+                   "oracle violations", "mutations caught", "verdict"});
+    for (const verify::ScenarioVerdict& v : verdicts) {
+      std::size_t caught = 0;
+      for (const auto& m : v.mutations) caught += m.caught ? 1 : 0;
+      table.add_row(
+          {v.scenario, std::to_string(v.records_run),
+           std::to_string(v.diff.field_diffs.size()),
+           std::to_string(v.diff.structural.size()),
+           std::to_string(v.oracle.violations.size()),
+           v.mutations.empty() ? "-"
+                               : std::to_string(caught) + "/" +
+                                     std::to_string(v.mutations.size()),
+           !v.error.empty() ? "ERROR" : (v.pass() ? "pass" : "FAIL")});
+    }
+    std::cout << table.render();
+    for (const verify::ScenarioVerdict& v : verdicts) {
+      if (!v.error.empty())
+        std::cout << v.scenario << ": error: " << v.error << '\n';
+      for (const auto& d : v.diff.field_diffs)
+        std::cout << v.scenario << ": record " << d.record_index << " field "
+                  << d.column << ": golden=" << d.expected
+                  << " fresh=" << d.actual << " (rel_err=" << d.rel_err
+                  << ")\n";
+      for (const auto& s : v.diff.structural)
+        std::cout << v.scenario << ": structural: " << s << '\n';
+      for (const auto& o : v.oracle.violations)
+        std::cout << v.scenario << ": oracle " << o.check << ": record "
+                  << o.record_index << " field " << o.column << ": "
+                  << o.detail << " (value=" << o.value << " bound=" << o.bound
+                  << ")\n";
+      for (const auto& m : v.mutations)
+        if (!m.caught)
+          std::cout << v.scenario << ": self-check: " << m.detail << '\n';
+    }
+  }
+
+  if (const auto json_path = cli.get("json")) {
+    std::ofstream out(*json_path);
+    out << verify::verdict_json(verdicts) << '\n';
+    if (!out) {
+      std::cerr << "cannot write verdict: " << *json_path << '\n';
+      return 2;
+    }
+    if (!quiet) std::cout << "wrote verdict: " << *json_path << '\n';
+  }
+
+  const bool pass = verify::all_pass(verdicts);
+  if (!quiet)
+    std::cout << (pass ? "VERIFY PASS" : "VERIFY FAIL") << " ("
+              << verdicts.size() << " scenario"
+              << (verdicts.size() == 1 ? "" : "s")
+              << (options.quick ? ", quick subsets" : ", full campaigns")
+              << ")\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return verify_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << (argc > 0 ? argv[0] : "verify_runner")
+              << ": error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -73,13 +73,19 @@ WaveAnalysis analyze_wave(const mpi::Trace& trace, const WaveProbe& probe) {
     amp_y.push_back(obs.amplitude.us());
   }
 
+  analysis.reached_count = static_cast<int>(hops_x.size());
+
   analysis.front_fit = fit_line(hops_x, arrival_y);
-  if (analysis.front_fit.n >= 2 && analysis.front_fit.slope > 0.0)
+  if (analysis.front_fit.valid && analysis.front_fit.slope > 0.0) {
     analysis.speed_ranks_per_sec = 1.0 / analysis.front_fit.slope;
+    analysis.front_valid = true;
+  }
+  analysis.front_rmse_us = analysis.front_fit.rmse * 1e6;  // seconds -> us
 
   analysis.amplitude_fit = fit_line(hops_x, amp_y);
-  if (analysis.amplitude_fit.n >= 2)
+  if (analysis.amplitude_fit.valid)
     analysis.decay_us_per_rank = std::max(0.0, -analysis.amplitude_fit.slope);
+  analysis.amplitude_rmse_us = analysis.amplitude_fit.rmse;
 
   return analysis;
 }

@@ -71,6 +71,20 @@ struct WaveAnalysis {
   double decay_us_per_rank = 0.0;
   /// Hops the wave survived (count of consecutively reached ranks).
   int survival_hops = 0;
+  /// Total observations the wave reached (>= survival_hops; a wave can skip
+  /// a rank and reappear past it without extending survival).
+  int reached_count = 0;
+  /// True when speed_ranks_per_sec came from a real fit: >= 2 reached ranks
+  /// and a positive front slope. All edge cases — wave never arrives,
+  /// single-observation front, every wait below min_idle — leave this false
+  /// with zeroed speed/decay instead of NaN.
+  bool front_valid = false;
+  /// RMS residual of the front fit in microseconds: how far arrivals
+  /// scatter around the fitted line. Principled basis for verification
+  /// tolerances (a tolerance far below the residual is noise-chasing).
+  double front_rmse_us = 0.0;
+  /// RMS residual of the amplitude fit in microseconds.
+  double amplitude_rmse_us = 0.0;
 };
 
 /// Follows the wave from the injection outward in `probe.direction` and

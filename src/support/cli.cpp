@@ -1,6 +1,7 @@
 #include "support/cli.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace iw {
@@ -97,6 +98,20 @@ std::vector<double> Cli::get_list_or(const std::string& key,
       [](const std::string& s, std::size_t* consumed) {
         return std::stod(s, consumed);
       });
+}
+
+std::vector<int> Cli::get_int_list_or(const std::string& key,
+                                      std::vector<int> fallback) const {
+  if (!has(key)) return fallback;
+  std::vector<int> out;
+  for (const std::int64_t v : get_list_or(key, std::vector<std::int64_t>{})) {
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+      throw std::invalid_argument("--" + key + ": value out of range: " +
+                                  std::to_string(v));
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
 }
 
 void Cli::allow_only(const std::vector<std::string>& known) const {

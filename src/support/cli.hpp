@@ -36,6 +36,12 @@ class Cli {
   [[nodiscard]] std::vector<double> get_list_or(
       const std::string& key, std::vector<double> fallback) const;
 
+  /// Int-valued axis lists (`--np=4,8,16`): parses as int64 and range-checks
+  /// every element into int, throwing std::invalid_argument on overflow
+  /// instead of silently truncating.
+  [[nodiscard]] std::vector<int> get_int_list_or(
+      const std::string& key, std::vector<int> fallback) const;
+
   /// Ensures every provided flag is among `known`; throws otherwise.
   void allow_only(const std::vector<std::string>& known) const;
 

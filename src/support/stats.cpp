@@ -66,6 +66,12 @@ LineFit fit_line(std::span<const double> x, std::span<const double> y) {
   fit.slope = sxy / sxx;
   fit.intercept = my - fit.slope * mx;
   fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  // Residual sum of squares of the OLS solution; clamped because the
+  // analytic identity syy - slope*sxy can go epsilon-negative in floating
+  // point for perfectly collinear inputs.
+  const double rss = std::max(0.0, syy - fit.slope * sxy);
+  fit.rmse = std::sqrt(rss / static_cast<double>(fit.n));
+  fit.valid = true;
   return fit;
 }
 

@@ -39,7 +39,12 @@ struct LineFit {
   double slope = 0.0;
   double intercept = 0.0;
   double r2 = 0.0;            ///< coefficient of determination
+  double rmse = 0.0;          ///< root-mean-square residual, in y units
   std::size_t n = 0;          ///< number of points used
+  /// True when the fit used >= 2 points with distinct x — the only case
+  /// where slope/intercept/r2/rmse carry information. A zero fit (n < 2 or
+  /// constant x) is the well-defined "no fit" value, never NaN.
+  bool valid = false;
 };
 
 /// Fits a line through (x[i], y[i]). Requires x.size() == y.size(); returns a

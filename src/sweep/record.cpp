@@ -1,5 +1,9 @@
 #include "sweep/record.hpp"
 
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "support/stats.hpp"
@@ -8,42 +12,184 @@
 namespace iw::sweep {
 namespace {
 
-std::string u64(std::uint64_t v) { return std::to_string(v); }
+// ---- typed accessors ------------------------------------------------------
+// One ColumnDef per SweepRecord member: static metadata plus symmetric
+// get/set function pointers. The table below is the only place a column
+// exists; everything else (sinks, golden parsing, diffing) derives from it.
+
+struct ColumnDef {
+  ColumnMeta meta;
+  std::string (*get)(const SweepRecord&);
+  void (*set)(SweepRecord&, const std::string&);
+};
+
+template <typename T>
+T parse_full(const std::string& text);
+
+template <typename Parse>
+auto checked(const std::string& text, Parse parse) {
+  std::size_t consumed = 0;
+  auto value = parse(text, &consumed);
+  if (consumed != text.size())
+    throw std::invalid_argument("trailing garbage in '" + text + "'");
+  return value;
+}
+
+template <>
+std::uint64_t parse_full<std::uint64_t>(const std::string& text) {
+  // stoull skips whitespace and accepts a wrapping '-' sign; demand a bare
+  // digit up front so "-5" (or " -5") throws instead of wrapping.
+  if (text.empty() || text[0] < '0' || text[0] > '9')
+    throw std::invalid_argument("unsigned column needs a bare digit string");
+  return checked(text, [](const std::string& s, std::size_t* n) {
+    return std::stoull(s, n);
+  });
+}
+
+template <>
+std::int64_t parse_full<std::int64_t>(const std::string& text) {
+  return checked(text, [](const std::string& s, std::size_t* n) {
+    return std::stoll(s, n);
+  });
+}
+
+template <>
+int parse_full<int>(const std::string& text) {
+  const long long v = checked(text, [](const std::string& s, std::size_t* n) {
+    return std::stoll(s, n);
+  });
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max())
+    throw std::invalid_argument("value out of int range: " + text);
+  return static_cast<int>(v);
+}
+
+template <>
+double parse_full<double>(const std::string& text) {
+  return checked(text, [](const std::string& s, std::size_t* n) {
+    return std::stod(s, n);
+  });
+}
+
+template <auto Member>
+std::string get_field(const SweepRecord& rec) {
+  using T = std::remove_cvref_t<decltype(rec.*Member)>;
+  if constexpr (std::is_same_v<T, std::string>) return rec.*Member;
+  else if constexpr (std::is_same_v<T, double>) return csv_num(rec.*Member);
+  else return std::to_string(rec.*Member);
+}
+
+template <auto Member>
+void set_field(SweepRecord& rec, const std::string& text) {
+  using T = std::remove_cvref_t<decltype(rec.*Member)>;
+  if constexpr (std::is_same_v<T, std::string>) rec.*Member = text;
+  else rec.*Member = parse_full<T>(text);
+}
+
+template <auto Member>
+constexpr ColumnDef col(const char* name, ColumnType type,
+                        ColumnTolerance tol, bool json_quoted = false) {
+  return ColumnDef{{name, type, tol, json_quoted},
+                   &get_field<Member>, &set_field<Member>};
+}
+
+constexpr auto kExact = ColumnTolerance::exact;
+constexpr auto kApprox = ColumnTolerance::approx;
+
+const std::vector<ColumnDef>& column_table() {
+  static const std::vector<ColumnDef> table = {
+      col<&SweepRecord::index>("index", ColumnType::u64, kExact),
+      col<&SweepRecord::delay_ms>("delay_ms", ColumnType::f64, kExact),
+      col<&SweepRecord::msg_bytes>("msg_bytes", ColumnType::i64, kExact),
+      col<&SweepRecord::np>("np", ColumnType::i32, kExact),
+      col<&SweepRecord::ppn>("ppn", ColumnType::i32, kExact),
+      col<&SweepRecord::noise_E_percent>("noise_E_percent", ColumnType::f64,
+                                         kExact),
+      col<&SweepRecord::workload>("workload", ColumnType::text, kExact, true),
+      col<&SweepRecord::direction>("direction", ColumnType::text, kExact,
+                                   true),
+      col<&SweepRecord::boundary>("boundary", ColumnType::text, kExact, true),
+      col<&SweepRecord::seed>("seed", ColumnType::u64, kExact, true),
+      col<&SweepRecord::protocol>("protocol", ColumnType::text, kExact, true),
+      col<&SweepRecord::v_up_ranks_per_sec>("v_up_ranks_per_sec",
+                                            ColumnType::f64, kApprox),
+      col<&SweepRecord::v_down_ranks_per_sec>("v_down_ranks_per_sec",
+                                              ColumnType::f64, kApprox),
+      col<&SweepRecord::v_eq2_ranks_per_sec>("v_eq2_ranks_per_sec",
+                                             ColumnType::f64, kApprox),
+      col<&SweepRecord::decay_up_us_per_rank>("decay_up_us_per_rank",
+                                              ColumnType::f64, kApprox),
+      col<&SweepRecord::survival_up_hops>("survival_up_hops", ColumnType::i32,
+                                          kExact),
+      col<&SweepRecord::survival_down_hops>("survival_down_hops",
+                                            ColumnType::i32, kExact),
+      col<&SweepRecord::front_r2_up>("front_r2_up", ColumnType::f64, kApprox),
+      col<&SweepRecord::front_rmse_up_us>("front_rmse_up_us", ColumnType::f64,
+                                          kApprox),
+      col<&SweepRecord::cycle_us>("cycle_us", ColumnType::f64, kApprox),
+      col<&SweepRecord::makespan_ms>("makespan_ms", ColumnType::f64, kApprox),
+      col<&SweepRecord::events_processed>("events_processed", ColumnType::u64,
+                                          kExact),
+      col<&SweepRecord::peak_events_pending>("peak_events_pending",
+                                             ColumnType::u64, kExact),
+  };
+  return table;
+}
 
 }  // namespace
 
+const std::vector<ColumnMeta>& record_schema() {
+  static const std::vector<ColumnMeta> schema = [] {
+    std::vector<ColumnMeta> metas;
+    for (const ColumnDef& def : column_table()) metas.push_back(def.meta);
+    return metas;
+  }();
+  return schema;
+}
+
+std::optional<std::size_t> column_index(const std::string& name) {
+  const auto& table = column_table();
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (name == table[i].meta.name) return i;
+  return std::nullopt;
+}
+
+std::string column_value(const SweepRecord& rec, std::size_t col) {
+  return column_table().at(col).get(rec);
+}
+
+void set_column(SweepRecord& rec, std::size_t col, const std::string& text) {
+  const ColumnDef& def = column_table().at(col);
+  try {
+    def.set(rec, text);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("column '") + def.meta.name +
+                                "': cannot parse '" + text + "': " + e.what());
+  }
+}
+
+SweepRecord record_from_row(const std::vector<std::string>& row) {
+  const auto& table = column_table();
+  if (row.size() != table.size())
+    throw std::invalid_argument(
+        "record row has " + std::to_string(row.size()) + " fields, schema has " +
+        std::to_string(table.size()));
+  SweepRecord rec;
+  for (std::size_t i = 0; i < table.size(); ++i) set_column(rec, i, row[i]);
+  return rec;
+}
+
 std::vector<RecordField> record_fields(const SweepRecord& rec) {
-  return {
-      {"index", u64(rec.index), false},
-      {"delay_ms", csv_num(rec.delay_ms), false},
-      {"msg_bytes", std::to_string(rec.msg_bytes), false},
-      {"np", std::to_string(rec.np), false},
-      {"ppn", std::to_string(rec.ppn), false},
-      {"noise_E_percent", csv_num(rec.noise_E_percent), false},
-      {"workload", rec.workload, true},
-      {"direction", rec.direction, true},
-      {"boundary", rec.boundary, true},
-      // String-typed: u64 seeds exceed the 2^53 range double-backed JSON
-      // readers preserve, and a rounded seed cannot reproduce its point.
-      {"seed", u64(rec.seed), true},
-      {"protocol", rec.protocol, true},
-      {"v_up_ranks_per_sec", csv_num(rec.v_up_ranks_per_sec), false},
-      {"v_down_ranks_per_sec", csv_num(rec.v_down_ranks_per_sec), false},
-      {"v_eq2_ranks_per_sec", csv_num(rec.v_eq2_ranks_per_sec), false},
-      {"decay_up_us_per_rank", csv_num(rec.decay_up_us_per_rank), false},
-      {"survival_up_hops", std::to_string(rec.survival_up_hops), false},
-      {"survival_down_hops", std::to_string(rec.survival_down_hops), false},
-      {"cycle_us", csv_num(rec.cycle_us), false},
-      {"makespan_ms", csv_num(rec.makespan_ms), false},
-      {"events_processed", u64(rec.events_processed), false},
-      {"peak_events_pending", u64(rec.peak_events_pending), false},
-  };
+  std::vector<RecordField> fields;
+  fields.reserve(column_table().size());
+  for (const ColumnDef& def : column_table())
+    fields.push_back({def.meta.name, def.get(rec), def.meta.json_quoted});
+  return fields;
 }
 
 std::vector<std::string> record_columns() {
   std::vector<std::string> names;
-  for (const RecordField& f : record_fields(SweepRecord{}))
-    names.push_back(f.name);
+  for (const ColumnMeta& meta : record_schema()) names.push_back(meta.name);
   return names;
 }
 
@@ -68,6 +214,8 @@ SweepRecord reduce(const SweepPoint& point, const core::WaveResult& result) {
   rec.decay_up_us_per_rank = result.up.decay_us_per_rank;
   rec.survival_up_hops = result.up.survival_hops;
   rec.survival_down_hops = result.down.survival_hops;
+  rec.front_r2_up = result.up.front_fit.r2;
+  rec.front_rmse_up_us = result.up.front_rmse_us;
   rec.cycle_us = result.measured_cycle.us();
   rec.makespan_ms = result.trace.makespan().ms();
   rec.events_processed = result.events_processed;

@@ -5,9 +5,19 @@
 // counters, and stream the flat records to CSV / JSON-Lines files. Records
 // carry their point index, so partial campaigns (cancelled mid-run) remain
 // self-describing.
+//
+// The column set is a *typed schema*, not a stringly field list: every
+// column declares its value type and its verification tolerance class, and
+// the schema is the single source of truth for serialization (sinks),
+// parsing (golden-corpus loading) and field-by-field diffing (src/verify).
+// Adding a SweepRecord member without a schema entry cannot ship
+// half-serialized: the drift-guard test pins schema size against
+// record_fields()/record_columns(), and the round-trip test pins get/set
+// symmetry.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,12 +48,53 @@ struct SweepRecord {
   double decay_up_us_per_rank = 0.0;  ///< beta toward higher ranks
   int survival_up_hops = 0;
   int survival_down_hops = 0;
+  double front_r2_up = 0.0;       ///< r^2 of the upward front fit
+  double front_rmse_up_us = 0.0;  ///< RMS front-fit residual [us]
   double cycle_us = 0.0;              ///< measured steady-state cycle
   double makespan_ms = 0.0;
   // Simulation cost (engine counters).
   std::uint64_t events_processed = 0;
   std::uint64_t peak_events_pending = 0;
 };
+
+/// Value type of one schema column.
+enum class ColumnType : std::uint8_t { u64, i64, i32, f64, text };
+
+/// Verification tolerance class of one column. `exact` columns (identity,
+/// axes, protocol, engine counters) must match goldens bit-for-bit;
+/// `approx` columns (fitted velocities, decay, cycle, makespan) are
+/// compared under a relative-epsilon policy.
+enum class ColumnTolerance : std::uint8_t { exact, approx };
+
+/// Static description of one SweepRecord column.
+struct ColumnMeta {
+  const char* name;
+  ColumnType type;
+  ColumnTolerance tolerance;
+  /// JSON quoting. Strings, plus u64 seeds: they exceed the 2^53 range
+  /// double-backed JSON readers preserve, and a rounded seed cannot
+  /// reproduce its point.
+  bool json_quoted;
+};
+
+/// The record schema, in sink column order.
+[[nodiscard]] const std::vector<ColumnMeta>& record_schema();
+
+/// Index of `name` in the schema; nullopt for unknown columns.
+[[nodiscard]] std::optional<std::size_t> column_index(const std::string& name);
+
+/// Serialized value of column `col` of `rec` (same text CSV sinks emit).
+[[nodiscard]] std::string column_value(const SweepRecord& rec,
+                                       std::size_t col);
+
+/// Parses `text` into column `col` of `rec`. Throws std::invalid_argument
+/// on malformed input (partial consumption, overflow, empty numerics).
+void set_column(SweepRecord& rec, std::size_t col, const std::string& text);
+
+/// Rebuilds a record from one serialized row in schema column order.
+/// Throws std::invalid_argument on a size mismatch or malformed value.
+[[nodiscard]] SweepRecord record_from_row(
+    const std::vector<std::string>& row);
 
 /// One field of a serialized record. `is_string` selects JSON quoting; CSV
 /// always writes the value verbatim.

@@ -6,6 +6,7 @@
 // axis values can still be overridden per invocation before expansion.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -13,11 +14,48 @@
 
 namespace iw::sweep {
 
+/// Per-scenario bounds for the analytic oracle layer (src/verify/oracle):
+/// how far simulated observables may deviate from the closed-form
+/// expectations of the analytic model (arXiv:2103.03175) before a record is
+/// flagged. Scenarios with injected noise or staircase fronts declare wider
+/// bounds; the noise-free speed scans sit within a few percent of Eq. 2.
+struct OracleBounds {
+  /// Max |v_fit - v_eq2| / v_eq2 for records whose front fit qualifies.
+  double max_speed_rel_err = 0.25;
+  /// Front fits below this r^2 are too scattered for a speed comparison
+  /// (heavy injected noise); such records skip the speed oracle.
+  double min_front_r2 = 0.9;
+  /// Minimum consecutive survival hops before the fitted speed is compared
+  /// (a two-point front is too short to trust its slope).
+  int min_reached_for_speed = 3;
+  /// Eq. 1 structure: a nonoverlapping compute-communicate cycle satisfies
+  /// cycle >= Texec, and Tcomm is bounded by the slowest link the sweep
+  /// touches. cycle_us must lie in [min, max] * texec_us.
+  double min_cycle_over_texec = 1.0;
+  double max_cycle_over_texec = 8.0;
+  /// When true, the paper's Sec. V damping trends are enforced per group of
+  /// fixed non-noise axes: the measured cycle must grow monotonically with
+  /// injected noise E (noise lengthens every compute phase), and survival
+  /// at the highest E must not exceed survival at the lowest E by more than
+  /// `survival_slack_hops`. Survival is compared endpoint-to-endpoint, not
+  /// consecutively: at high E, noise-induced waits above min_idle are
+  /// (mis)attributed to the wave, making the intermediate proxy jumpy.
+  bool damping_trend_in_noise = false;
+  int survival_slack_hops = 2;
+  /// Relative slack for the cycle-vs-E monotonicity (median-of-steps jitter).
+  double cycle_noise_slack_rel = 0.02;
+};
+
 struct Scenario {
   std::string name;
   std::string summary;    ///< what the sweep demonstrates
   std::string paper_ref;  ///< figure / section it reproduces
   SweepSpec spec;
+  OracleBounds oracle;
+  /// Point indices (into expand(spec)) verified under --quick: a handful of
+  /// representative points per scenario so CI touches every scenario
+  /// without the full campaign cost. Empty = quick mode runs everything.
+  std::vector<std::size_t> quick_subset;
 };
 
 /// All registered scenarios, in catalog order. Names are unique.

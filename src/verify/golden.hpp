@@ -1,0 +1,50 @@
+// Golden-corpus I/O: checked-in reference SweepRecord tables.
+//
+// One file per scenario under tests/golden/, holding the full campaign's
+// records in sink column order. The file is a plain CSV with a
+// schema-versioned comment header, so it diffs cleanly in review and loads
+// without an external parser:
+//
+//   # iw-golden schema=1 scenario=speed_vs_delay points=52
+//   index,delay_ms,...,peak_events_pending
+//   0,4,...,118
+//
+// Loading validates the header line, the schema version, and that the
+// column row matches the *current* record schema exactly — a renamed,
+// added, or removed column makes every golden stale by definition and must
+// go through --update-goldens, not through silent positional reinterpretation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/record.hpp"
+
+namespace iw::verify {
+
+/// Version of the golden file layout + column semantics. Bump when the
+/// header format changes or a column changes meaning without renaming.
+inline constexpr int kGoldenSchemaVersion = 1;
+
+struct GoldenCorpus {
+  int schema_version = kGoldenSchemaVersion;
+  std::string scenario;
+  std::vector<sweep::SweepRecord> records;
+};
+
+/// Canonical corpus path for `scenario` under `dir`.
+[[nodiscard]] std::string golden_path(const std::string& dir,
+                                      const std::string& scenario);
+
+/// Writes the corpus file. Throws std::runtime_error when the path cannot
+/// be opened or a serialized field would require CSV quoting (golden values
+/// never legitimately contain commas/quotes/newlines).
+void write_golden(const std::string& path, const std::string& scenario,
+                  const std::vector<sweep::SweepRecord>& records);
+
+/// Loads and validates a corpus file. Throws std::runtime_error on a
+/// missing file, malformed or version-mismatched header, column drift
+/// against the current record schema, or an unparsable row.
+[[nodiscard]] GoldenCorpus load_golden(const std::string& path);
+
+}  // namespace iw::verify

@@ -1,0 +1,56 @@
+// Analytic oracle layer: closed-form expectations checked per record.
+//
+// The golden corpus pins *reproducibility*; the oracles pin *physics*. Each
+// record is recomputed against the analytic model of idle-wave propagation
+// (Afzal et al., arXiv:2103.03175):
+//   * Eq. 2 velocity: the fitted v_up must sit within the scenario's
+//     declared relative-error band of the v_silent prediction, whenever the
+//     front fit is clean enough to mean anything (r^2 and survival gates
+//     from OracleBounds; v_down carries no fit-quality columns, so it is
+//     covered by sanity checks and the golden diff instead);
+//   * Eq. 1 cycle structure: the measured cycle_us of a nonoverlapping
+//     compute-communicate loop is bounded below by Texec and above by a
+//     scenario-declared Tcomm multiple;
+//   * damping trends (Sec. V): with all other axes fixed, the measured
+//     cycle must grow monotonically with injected noise E and the wave must
+//     not outlive its noise-free baseline;
+//   * unconditional sanity: speeds/decay non-negative and finite, survival
+//     within [0, np-1], protocol consistent with the message size, axis
+//     values and seeds identical to re-expanding the scenario spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/record.hpp"
+#include "sweep/scenario.hpp"
+
+namespace iw::verify {
+
+/// One record that violates an analytic expectation.
+struct OracleViolation {
+  std::uint64_t record_index = 0;
+  std::string check;   ///< "speed_eq2", "cycle_eq1", "cycle_monotone", ...
+  std::string column;  ///< offending record field
+  double value = 0.0;  ///< observed quantity (e.g. relative error)
+  double bound = 0.0;  ///< the bound it broke
+  std::string detail;  ///< human-readable explanation
+};
+
+struct OracleReport {
+  std::size_t records_checked = 0;
+  std::size_t speed_checks = 0;  ///< records that passed the fit-quality gate
+  std::vector<OracleViolation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+};
+
+/// Checks every record of `records` against `scenario`'s declared bounds.
+/// Records may be a subset of the full campaign (quick mode); grouped checks
+/// (monotonicity) run over whatever groups the subset contains.
+[[nodiscard]] OracleReport check_oracles(
+    const sweep::Scenario& scenario,
+    const std::vector<sweep::SweepRecord>& records);
+
+}  // namespace iw::verify

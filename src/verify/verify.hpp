@@ -1,0 +1,69 @@
+// Verification orchestration: campaign -> golden diff -> oracles -> verdict.
+//
+// verify_scenario() replays a catalog scenario (full or quick subset),
+// diffs the fresh records field-by-field against the checked-in golden
+// corpus, and runs the analytic oracle layer. The optional mutation
+// self-check perturbs one golden field and one fresh sim observable and
+// demands the differ names each — so the harness cannot rot into
+// always-green: a differ that stops seeing changes fails its own PR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.hpp"
+#include "verify/diff.hpp"
+#include "verify/golden.hpp"
+#include "verify/oracle.hpp"
+
+namespace iw::verify {
+
+struct VerifyOptions {
+  std::string golden_dir;  ///< directory holding <scenario>.csv corpora
+  bool quick = false;      ///< run only the scenario's quick_subset
+  int threads = 1;         ///< campaign worker threads
+  TolerancePolicy policy;
+  bool self_check = false;  ///< run the mutation self-check as well
+};
+
+/// Outcome of one mutation probe: did the differ catch the perturbation?
+struct MutationOutcome {
+  std::string target;  ///< "golden" or "sim"
+  std::string column;
+  std::uint64_t record_index = 0;
+  bool caught = false;
+  std::string detail;  ///< what the differ reported (or failed to)
+};
+
+struct ScenarioVerdict {
+  std::string scenario;
+  std::string golden_file;
+  std::string error;  ///< load/run failure; empty on a normal verdict
+  std::size_t records_run = 0;
+  double seconds = 0.0;
+  DiffReport diff;
+  OracleReport oracle;
+  std::vector<MutationOutcome> mutations;
+
+  [[nodiscard]] bool pass() const;
+};
+
+/// Verifies one scenario against its golden corpus. Never throws for
+/// verification failures — those land in the verdict; infrastructure
+/// failures (unreadable corpus, campaign exception) land in `error`.
+[[nodiscard]] ScenarioVerdict verify_scenario(const sweep::Scenario& scenario,
+                                              const VerifyOptions& options);
+
+/// Runs the full campaign and (re)writes the scenario's golden corpus.
+/// Returns the file path written.
+std::string update_golden(const sweep::Scenario& scenario,
+                          const VerifyOptions& options);
+
+/// Machine-readable verdict over all verified scenarios, one JSON document.
+[[nodiscard]] std::string verdict_json(
+    const std::vector<ScenarioVerdict>& verdicts);
+
+/// True when every scenario verdict passes.
+[[nodiscard]] bool all_pass(const std::vector<ScenarioVerdict>& verdicts);
+
+}  // namespace iw::verify

@@ -121,6 +121,95 @@ TEST(AnalyzeWave, MaxHopsLimitsProbe) {
   EXPECT_EQ(wave.survival_hops, 3);
 }
 
+// ---- fit edge cases: every degenerate trace must yield a well-defined
+// "no fit" (zeros, valid=false), never NaN or garbage. ----
+
+TEST(AnalyzeWave, WaveNeverReachesAnyRank) {
+  mpi::Trace trace(8);  // nothing but silence
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  EXPECT_EQ(wave.reached_count, 0);
+  EXPECT_EQ(wave.survival_hops, 0);
+  EXPECT_FALSE(wave.front_valid);
+  EXPECT_FALSE(wave.front_fit.valid);
+  EXPECT_EQ(wave.front_fit.n, 0u);
+  EXPECT_DOUBLE_EQ(wave.speed_ranks_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(wave.decay_us_per_rank, 0.0);
+  EXPECT_DOUBLE_EQ(wave.front_rmse_us, 0.0);
+  EXPECT_DOUBLE_EQ(wave.amplitude_rmse_us, 0.0);
+}
+
+TEST(AnalyzeWave, SingleObservationFrontIsDegenerateNotGarbage) {
+  // Only one rank ever idles: least squares on one point has no slope.
+  mpi::Trace trace(8);
+  trace.add_segment(3, wait_seg(20, 30));
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  EXPECT_EQ(wave.reached_count, 1);
+  EXPECT_EQ(wave.survival_hops, 1);
+  EXPECT_EQ(wave.front_fit.n, 1u);
+  EXPECT_FALSE(wave.front_fit.valid);
+  EXPECT_FALSE(wave.front_valid);
+  EXPECT_DOUBLE_EQ(wave.speed_ranks_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(wave.decay_us_per_rank, 0.0);
+  EXPECT_DOUBLE_EQ(wave.front_rmse_us, 0.0);
+}
+
+TEST(AnalyzeWave, PeriodicBoundaryHopsWrapAround) {
+  // 6 ranks, injection at 4, upward probe: hops 1..5 visit 5,0,1,2,3.
+  mpi::Trace trace(6);
+  for (int k = 1; k <= 3; ++k)
+    trace.add_segment((4 + k) % 6, wait_seg(10 + 4 * k, 18 + 4 * k));
+  WaveProbe probe;
+  probe.injection_rank = 4;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  probe.boundary = workload::Boundary::periodic;
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  ASSERT_EQ(wave.observations.size(), 5u);  // once around minus one
+  EXPECT_EQ(wave.observations[0].rank, 5);
+  EXPECT_EQ(wave.observations[1].rank, 0);  // wrapped
+  EXPECT_EQ(wave.observations[2].rank, 1);
+  EXPECT_TRUE(wave.observations[1].reached);
+  EXPECT_EQ(wave.survival_hops, 3);
+  EXPECT_TRUE(wave.front_valid);
+  EXPECT_NEAR(wave.speed_ranks_per_sec, 250.0, 1e-6);  // 4 ms per hop
+}
+
+TEST(AnalyzeWave, AllWaitsBelowMinIdleYieldNoFit) {
+  const mpi::Trace trace = synthetic_wave(12);  // amplitudes 18..2 ms
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(25.0);  // above every amplitude
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  EXPECT_EQ(wave.reached_count, 0);
+  EXPECT_EQ(wave.survival_hops, 0);
+  EXPECT_FALSE(wave.front_valid);
+  EXPECT_DOUBLE_EQ(wave.speed_ranks_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(wave.decay_us_per_rank, 0.0);
+}
+
+TEST(AnalyzeWave, CleanWaveResidualsAreTinyAndR2Perfect) {
+  const mpi::Trace trace = synthetic_wave(12);
+  WaveProbe probe;
+  probe.injection_rank = 2;
+  probe.injection_time = SimTime{10'000'000};
+  probe.min_idle = milliseconds(1.0);
+  const WaveAnalysis wave = analyze_wave(trace, probe);
+  EXPECT_TRUE(wave.front_valid);
+  EXPECT_EQ(wave.reached_count, 9);
+  EXPECT_NEAR(wave.front_rmse_us, 0.0, 1e-6);      // exact line
+  EXPECT_NEAR(wave.amplitude_rmse_us, 0.0, 1e-6);  // exact line
+  EXPECT_NEAR(wave.front_fit.r2, 1.0, 1e-12);
+}
+
 TEST(AnalyzeWave, WaitsEndingBeforeInjectionAreIgnored) {
   mpi::Trace trace(4);
   // A long pre-existing wait on rank 3 ends before injection.

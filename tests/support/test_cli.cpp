@@ -1,9 +1,16 @@
-// Tests for comma-separated list parsing of sweep axes (`--np=4,8,16`).
+// Tests for comma-separated list parsing of sweep axes (`--np=4,8,16`),
+// including seeded property tests against malformed input: parsing must
+// either return the full list or throw std::invalid_argument — never
+// crash, never silently truncate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "support/cli.hpp"
+#include "support/rng.hpp"
 
 namespace iw {
 namespace {
@@ -71,6 +78,107 @@ TEST(CliList, RejectsMalformedLists) {
   EXPECT_THROW(parse_i64("--x=4,8q"), std::invalid_argument);
   // Fractional input is not a valid int64 element.
   EXPECT_THROW(parse_i64("--x=4.5"), std::invalid_argument);
+}
+
+TEST(CliIntList, RangeChecksIntoInt) {
+  const char* argv[] = {"prog", "--np=4,8,16"};
+  const Cli cli(2, argv);
+  const auto np = cli.get_int_list_or("np", {});
+  ASSERT_EQ(np.size(), 3u);
+  EXPECT_EQ(np[2], 16);
+
+  const char* big[] = {"prog", "--np=4,90000000000"};  // > int max
+  const Cli overflow(2, big);
+  EXPECT_THROW(overflow.get_int_list_or("np", {}), std::invalid_argument);
+
+  const char* neg[] = {"prog", "--np=-90000000000"};  // < int min
+  const Cli underflow(2, neg);
+  EXPECT_THROW(underflow.get_int_list_or("np", {}), std::invalid_argument);
+}
+
+TEST(CliIntList, AbsentFlagYieldsFallback) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  const auto np = cli.get_int_list_or("np", {3, 5});
+  ASSERT_EQ(np.size(), 2u);
+  EXPECT_EQ(np[0], 3);
+  EXPECT_EQ(np[1], 5);
+}
+
+// ---- property tests -------------------------------------------------------
+// Seeded random strings over a list-ish alphabet. For every input, each
+// parser must either (a) throw std::invalid_argument, or (b) return exactly
+// comma_count+1 elements — the no-crash / no-silent-truncation contract the
+// sweep_runner axis overrides rely on.
+
+std::string random_list_input(Rng& rng, std::size_t max_len) {
+  static constexpr char alphabet[] = "0123456789,,..--++eExq ";
+  const std::size_t len = rng.uniform_below(max_len + 1);
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i)
+    s += alphabet[rng.uniform_below(sizeof alphabet - 1)];
+  return s;
+}
+
+template <typename Parse>
+void check_list_property(const std::string& input, Parse parse) {
+  const std::string arg = "--x=" + input;
+  const char* argv[] = {"prog", arg.c_str()};
+  const Cli cli(2, argv);
+  const std::size_t commas =
+      static_cast<std::size_t>(std::count(input.begin(), input.end(), ','));
+  try {
+    const auto parsed = parse(cli);
+    EXPECT_EQ(parsed.size(), commas + 1)
+        << "silent truncation for input '" << input << "'";
+  } catch (const std::invalid_argument&) {
+    // rejected cleanly: fine
+  }
+}
+
+TEST(CliListProperty, Int64ListNeverCrashesNorTruncates) {
+  Rng rng(0xC11F00D5EEDull);
+  for (int i = 0; i < 3000; ++i)
+    check_list_property(random_list_input(rng, 24), [](const Cli& cli) {
+      return cli.get_list_or("x", std::vector<std::int64_t>{});
+    });
+}
+
+TEST(CliListProperty, DoubleListNeverCrashesNorTruncates) {
+  Rng rng(0xD0B1E5EEDull);
+  for (int i = 0; i < 3000; ++i)
+    check_list_property(random_list_input(rng, 24), [](const Cli& cli) {
+      return cli.get_list_or("x", std::vector<double>{});
+    });
+}
+
+TEST(CliListProperty, IntListNeverCrashesNorTruncates) {
+  Rng rng(0x1217EE7ull);
+  for (int i = 0; i < 3000; ++i)
+    check_list_property(random_list_input(rng, 24), [](const Cli& cli) {
+      return cli.get_int_list_or("x", {});
+    });
+}
+
+TEST(CliListProperty, ValidListsAlwaysParseInFull) {
+  // The complementary direction: well-formed lists of random numerics must
+  // parse, element for element.
+  Rng rng(0xA11600Dull);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t n = 1 + rng.uniform_below(6);
+    std::string input;
+    std::vector<std::int64_t> want;
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto v = static_cast<std::int64_t>(rng.uniform_below(1'000'000)) -
+                     500'000;
+      want.push_back(v);
+      input += (k ? "," : "") + std::to_string(v);
+    }
+    const std::string arg = "--x=" + input;
+    const char* argv[] = {"prog", arg.c_str()};
+    const Cli cli(2, argv);
+    EXPECT_EQ(cli.get_list_or("x", std::vector<std::int64_t>{}), want);
+  }
 }
 
 TEST(CliList, UnknownFlagCheckingStillApplies) {

@@ -1,0 +1,132 @@
+// Column-drift guard: the typed record schema, record_fields() and
+// record_columns() must agree in size, order and names, and serialization
+// must round-trip — so a new SweepRecord field cannot ship half-serialized
+// (present in the struct, missing from sinks/goldens, or vice versa).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "sweep/record.hpp"
+
+namespace iw::sweep {
+namespace {
+
+/// A record with every field set to a distinctive non-default value, so a
+/// get/set mix-up between two columns cannot cancel out.
+SweepRecord distinctive_record() {
+  SweepRecord rec;
+  rec.index = 41;
+  rec.delay_ms = 12.5;
+  rec.msg_bytes = 174080;
+  rec.np = 18;
+  rec.ppn = 10;
+  rec.noise_E_percent = 7.25;
+  rec.workload = "grid2d";
+  rec.direction = "bidirectional";
+  rec.boundary = "periodic";
+  rec.seed = 18446744073709551615ull;
+  rec.protocol = "rendezvous";
+  rec.v_up_ranks_per_sec = 331.0625;
+  rec.v_down_ranks_per_sec = 165.5;
+  rec.v_eq2_ranks_per_sec = 333.125;
+  rec.decay_up_us_per_rank = 86.875;
+  rec.survival_up_hops = 9;
+  rec.survival_down_hops = 4;
+  rec.front_r2_up = 0.998046875;
+  rec.front_rmse_up_us = 148.25;
+  rec.cycle_us = 3322.75;
+  rec.makespan_ms = 86.1875;
+  rec.events_processed = 1941;
+  rec.peak_events_pending = 37;
+  return rec;
+}
+
+TEST(RecordSchema, SchemaFieldsAndColumnsAgree) {
+  const auto& schema = record_schema();
+  const auto fields = record_fields(SweepRecord{});
+  const auto columns = record_columns();
+  ASSERT_EQ(schema.size(), fields.size());
+  ASSERT_EQ(schema.size(), columns.size());
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    EXPECT_EQ(schema[i].name, fields[i].name) << "position " << i;
+    EXPECT_EQ(schema[i].name, columns[i]) << "position " << i;
+    EXPECT_EQ(schema[i].json_quoted, fields[i].is_string) << schema[i].name;
+  }
+}
+
+TEST(RecordSchema, ColumnNamesAreUniqueAndResolvable) {
+  std::set<std::string> seen;
+  for (const ColumnMeta& meta : record_schema()) {
+    EXPECT_TRUE(seen.insert(meta.name).second)
+        << "duplicate column " << meta.name;
+    const auto index = column_index(meta.name);
+    ASSERT_TRUE(index.has_value()) << meta.name;
+    EXPECT_EQ(record_schema()[*index].name, std::string(meta.name));
+  }
+  EXPECT_FALSE(column_index("no_such_column").has_value());
+}
+
+TEST(RecordSchema, RowRoundTripIsIdentity) {
+  // CSV -> parse -> CSV: serializing, re-parsing and re-serializing a
+  // record must reproduce the exact same row, for every column.
+  const SweepRecord rec = distinctive_record();
+  std::vector<std::string> row;
+  for (std::size_t c = 0; c < record_schema().size(); ++c)
+    row.push_back(column_value(rec, c));
+
+  const SweepRecord parsed = record_from_row(row);
+  for (std::size_t c = 0; c < record_schema().size(); ++c)
+    EXPECT_EQ(column_value(parsed, c), row[c])
+        << "column " << record_schema()[c].name;
+}
+
+TEST(RecordSchema, RecordFieldsMatchColumnValues) {
+  const SweepRecord rec = distinctive_record();
+  const auto fields = record_fields(rec);
+  for (std::size_t c = 0; c < fields.size(); ++c)
+    EXPECT_EQ(fields[c].value, column_value(rec, c)) << fields[c].name;
+}
+
+TEST(RecordSchema, SetColumnRejectsGarbage) {
+  SweepRecord rec;
+  const std::size_t np = *column_index("np");
+  const std::size_t delay = *column_index("delay_ms");
+  const std::size_t seed = *column_index("seed");
+  EXPECT_THROW(set_column(rec, np, "12abc"), std::invalid_argument);
+  EXPECT_THROW(set_column(rec, np, ""), std::invalid_argument);
+  EXPECT_THROW(set_column(rec, np, "99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(set_column(rec, delay, "1.2.3"), std::invalid_argument);
+  EXPECT_THROW(set_column(rec, seed, "-1"), std::invalid_argument);
+  EXPECT_THROW(set_column(rec, np, "4,5"), std::invalid_argument);
+}
+
+TEST(RecordSchema, RowSizeMismatchRejected) {
+  std::vector<std::string> row(record_schema().size() - 1, "0");
+  EXPECT_THROW(record_from_row(row), std::invalid_argument);
+  row.assign(record_schema().size() + 1, "0");
+  EXPECT_THROW(record_from_row(row), std::invalid_argument);
+}
+
+TEST(RecordSchema, EveryColumnHasAResolvableToleranceClass) {
+  // The verify differ dispatches on these two enums; a new column always
+  // declares both, so this is mostly documentation — but it pins that
+  // exact-class columns include the reproducibility-critical identity
+  // fields and approx never applies to text.
+  for (const ColumnMeta& meta : record_schema()) {
+    if (meta.type == ColumnType::text)
+      EXPECT_EQ(meta.tolerance, ColumnTolerance::exact) << meta.name;
+  }
+  for (const char* must_be_exact :
+       {"index", "seed", "protocol", "events_processed",
+        "peak_events_pending"}) {
+    const auto c = column_index(must_be_exact);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(record_schema()[*c].tolerance, ColumnTolerance::exact)
+        << must_be_exact;
+  }
+}
+
+}  // namespace
+}  // namespace iw::sweep

@@ -1,0 +1,158 @@
+// Field-tolerance diffing: exact vs approx policies, index matching,
+// structural problems, and single-field mutation detection over the whole
+// schema (the unit-level half of the mutation self-check).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "verify/diff.hpp"
+
+namespace iw::verify {
+namespace {
+
+sweep::SweepRecord base_record(std::uint64_t index) {
+  sweep::SweepRecord rec;
+  rec.index = index;
+  rec.delay_ms = 4.0 + static_cast<double>(index);
+  rec.msg_bytes = 16384;
+  rec.np = 18;
+  rec.ppn = 1;
+  rec.workload = "ring";
+  rec.direction = "unidirectional";
+  rec.boundary = "open";
+  rec.seed = 1234567890123456789ull + index;
+  rec.protocol = "eager";
+  rec.v_up_ranks_per_sec = 250.0;
+  rec.v_eq2_ranks_per_sec = 251.5;
+  rec.decay_up_us_per_rank = 12.25;
+  rec.survival_up_hops = 7;
+  rec.front_r2_up = 0.9999;
+  rec.front_rmse_up_us = 3.5;
+  rec.cycle_us = 3200.0;
+  rec.makespan_ms = 60.5;
+  rec.events_processed = 1941;
+  rec.peak_events_pending = 37;
+  return rec;
+}
+
+std::vector<sweep::SweepRecord> table(std::size_t n) {
+  std::vector<sweep::SweepRecord> records;
+  for (std::size_t i = 0; i < n; ++i) records.push_back(base_record(i));
+  return records;
+}
+
+TEST(Diff, IdenticalTablesAreClean) {
+  const auto golden = table(4);
+  const DiffReport report = diff_records(golden, golden, {}, true);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records_compared, 4u);
+}
+
+TEST(Diff, ApproxColumnWithinEpsilonPasses) {
+  const auto golden = table(2);
+  auto fresh = golden;
+  fresh[1].v_up_ranks_per_sec *= 1.0 + 1e-12;  // below rel_eps = 1e-9
+  EXPECT_TRUE(diff_records(golden, fresh, {}, true).clean());
+}
+
+TEST(Diff, ApproxColumnBeyondEpsilonIsFlagged) {
+  const auto golden = table(2);
+  auto fresh = golden;
+  fresh[1].v_up_ranks_per_sec *= 1.001;
+  const DiffReport report = diff_records(golden, fresh, {}, true);
+  ASSERT_EQ(report.field_diffs.size(), 1u);
+  EXPECT_EQ(report.field_diffs[0].record_index, 1u);
+  EXPECT_EQ(report.field_diffs[0].column, "v_up_ranks_per_sec");
+  EXPECT_NEAR(report.field_diffs[0].rel_err, 0.001, 1e-4);
+}
+
+TEST(Diff, ExactColumnOffByOneIsFlagged) {
+  const auto golden = table(2);
+  auto fresh = golden;
+  fresh[0].events_processed += 1;  // counters never drift legitimately
+  const DiffReport report = diff_records(golden, fresh, {}, true);
+  ASSERT_EQ(report.field_diffs.size(), 1u);
+  EXPECT_EQ(report.field_diffs[0].column, "events_processed");
+}
+
+TEST(Diff, WiderPolicyAcceptsLargerDrift) {
+  const auto golden = table(1);
+  auto fresh = golden;
+  fresh[0].cycle_us *= 1.0005;
+  TolerancePolicy wide;
+  wide.rel_eps = 1e-3;
+  EXPECT_TRUE(diff_records(golden, fresh, wide, true).clean());
+  EXPECT_FALSE(diff_records(golden, fresh, {}, true).clean());
+}
+
+TEST(Diff, SubsetRunMatchesByIndex) {
+  const auto golden = table(6);
+  // A quick-subset run: only points 1 and 4, delivered out of their golden
+  // positions.
+  std::vector<sweep::SweepRecord> fresh = {golden[4], golden[1]};
+  const DiffReport report = diff_records(golden, fresh, {}, false);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records_compared, 2u);
+}
+
+TEST(Diff, FullRunReportsMissingGoldenRows) {
+  const auto golden = table(3);
+  const std::vector<sweep::SweepRecord> fresh = {golden[0], golden[2]};
+  const DiffReport report = diff_records(golden, fresh, {}, true);
+  ASSERT_EQ(report.structural.size(), 1u);
+  EXPECT_NE(report.structural[0].find("index 1"), std::string::npos);
+}
+
+TEST(Diff, UnknownFreshIndexIsStructural) {
+  const auto golden = table(2);
+  std::vector<sweep::SweepRecord> fresh = {base_record(7)};
+  const DiffReport report = diff_records(golden, fresh, {}, false);
+  ASSERT_EQ(report.structural.size(), 1u);
+  EXPECT_NE(report.structural[0].find("no golden row"), std::string::npos);
+}
+
+TEST(Diff, DuplicateFreshIndexIsStructural) {
+  const auto golden = table(2);
+  const std::vector<sweep::SweepRecord> fresh = {golden[0], golden[0]};
+  const DiffReport report = diff_records(golden, fresh, {}, false);
+  ASSERT_EQ(report.structural.size(), 1u);
+  EXPECT_NE(report.structural[0].find("repeats index"), std::string::npos);
+}
+
+// The differ must catch a perturbation of ANY single column — a column the
+// differ skips is a hole every future regression can hide in. This is the
+// exhaustive version of verify_runner's --self-check probes.
+TEST(Diff, EverySingleColumnMutationIsCaught) {
+  const auto golden = table(3);
+  const auto& schema = sweep::record_schema();
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    if (std::string(schema[c].name) == "index") continue;  // identity key
+    auto fresh = golden;
+    const std::string old = sweep::column_value(fresh[1], c);
+    std::string mutated;
+    switch (schema[c].type) {
+      case sweep::ColumnType::text:
+        mutated = old + "_x";
+        break;
+      case sweep::ColumnType::f64:
+        mutated = std::to_string(std::stod(old) * 1.01 + 1.0);
+        break;
+      case sweep::ColumnType::u64:
+        mutated = std::to_string(std::stoull(old) + 1);
+        break;
+      default:
+        mutated = std::to_string(std::stoll(old) + 1);
+        break;
+    }
+    sweep::set_column(fresh[1], c, mutated);
+    const DiffReport report = diff_records(golden, fresh, {}, true);
+    ASSERT_EQ(report.field_diffs.size(), 1u)
+        << "column " << schema[c].name << " mutation not caught";
+    EXPECT_EQ(report.field_diffs[0].column, schema[c].name);
+    EXPECT_EQ(report.field_diffs[0].record_index, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace iw::verify
