@@ -4,10 +4,50 @@
 #include <iostream>
 #include <string>
 
+#include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 
 namespace iw::bench {
+
+/// Non-null when this binary was built with instrumentation that poisons
+/// timings: a sanitizer (the IW_SANITIZE CMake option, or raw -fsanitize
+/// flags detected via compiler macros) or the IDLEWAVE_AUDIT invariant
+/// layer. Returns a human-readable reason.
+inline const char* instrumented_build_reason() {
+#if defined(IW_SANITIZE_BUILD)
+  return "sanitizer build (IW_SANITIZE=" IW_SANITIZE_BUILD ")";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "AddressSanitizer build";
+#elif defined(__SANITIZE_THREAD__)
+  return "ThreadSanitizer build";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "AddressSanitizer build";
+#elif __has_feature(thread_sanitizer)
+  return "ThreadSanitizer build";
+#elif __has_feature(memory_sanitizer)
+  return "MemorySanitizer build";
+#endif
+#endif
+  if (iw::check::kAuditEnabled) return "IDLEWAVE_AUDIT build";
+  return nullptr;
+}
+
+/// Baseline-recording benches (perf_*) call this first: an instrumented
+/// build must never write a BENCH_*.json — a 2-70x sanitizer/audit slowdown
+/// recorded as a baseline would make every later A/B comparison lie.
+/// Returns the exit code to propagate (0 = clean build, proceed).
+inline int refuse_if_instrumented(const char* bench_name) {
+  const char* why = instrumented_build_reason();
+  if (why == nullptr) return 0;
+  std::cerr << bench_name << ": refusing to run: this is a " << why
+            << ", and its timings must not be recorded as a BENCH_*.json "
+               "baseline.\nRe-build without instrumentation (preset "
+               "'release') to measure; sanitizer/audit runs should drive "
+               "the test suite and the verify/sweep runners instead.\n";
+  return 2;
+}
 
 /// Opens the optional --out CSV sink.
 inline CsvWriter csv_from_cli(const Cli& cli) {

@@ -300,6 +300,7 @@ void write_json(const std::string& path, const std::string& mode,
 }
 
 int bench_main(int argc, char** argv) {
+  if (const int rc = bench::refuse_if_instrumented("perf_engine")) return rc;
   const Cli cli(argc, argv);
   cli.allow_only(
       {"json", "out", "smoke", "reps", "churn", "pending", "batches",

@@ -53,6 +53,7 @@ struct Run {
 };
 
 int bench_main(int argc, char** argv) {
+  if (const int rc = bench::refuse_if_instrumented("perf_sweep")) return rc;
   const Cli cli(argc, argv);
   cli.allow_only({"json", "scenario", "threads", "reps", "steps", "smoke"});
   const bool smoke = cli.has("smoke");

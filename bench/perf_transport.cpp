@@ -380,7 +380,8 @@ class Process {
       if (const auto* send = std::get_if<mpi::OpIsend>(&op)) {
         const auto id = static_cast<mpi::RequestId>(requests_.size());
         requests_.push_back(mpi::Request{mpi::Request::Kind::send, send->peer,
-                                         send->tag, send->bytes, false});
+                                         send->tag, send->bytes, false, false,
+                                         SimTime{}});
         transport_.post_send(rank_, send->peer, send->tag, send->bytes, id);
         ++pc_;
         continue;
@@ -388,7 +389,8 @@ class Process {
       if (const auto* recv = std::get_if<mpi::OpIrecv>(&op)) {
         const auto id = static_cast<mpi::RequestId>(requests_.size());
         requests_.push_back(mpi::Request{mpi::Request::Kind::recv, recv->peer,
-                                         recv->tag, recv->bytes, false});
+                                         recv->tag, recv->bytes, false, false,
+                                         SimTime{}});
         transport_.post_recv(rank_, recv->peer, recv->tag, recv->bytes, id);
         ++pc_;
         continue;
@@ -622,6 +624,7 @@ void write_json(const std::string& path, const std::string& mode,
 }
 
 int bench_main(int argc, char** argv) {
+  if (const int rc = bench::refuse_if_instrumented("perf_transport")) return rc;
   const Cli cli(argc, argv);
   cli.allow_only({"json", "out", "quick", "reps", "ranks", "steps"});
   const bool quick = cli.has("quick");

@@ -31,6 +31,17 @@ void Cluster::reset(ClusterConfig config) {
   engine_.reserve_events(static_cast<std::size_t>(topo_.ranks()) * 8);
   transport_.reconfigure(config_.fabric, config_.transport);
   ran_ = false;
+  // Post-conditions of the recycle: the next run must be indistinguishable
+  // from a fresh construction. State leaking through a reset cluster is
+  // exactly the bug class that would silently bend sweep physics, so audit
+  // builds re-prove it at every sweep point.
+  IW_ASSERT(engine_.events_pending() == 0 && engine_.now() == SimTime::zero(),
+            "Cluster::reset post-condition: engine not pristine");
+  IW_ASSERT(transport_.pool_stats().rdv_in_flight == 0 &&
+                transport_.stats().eager_sends == 0 &&
+                transport_.stats().rendezvous_sends == 0,
+            "Cluster::reset post-condition: transport state leaked");
+  IW_AUDIT(transport_.audit());
 }
 
 Duration Cluster::message_time(int src, int dst, std::int64_t bytes) const {
@@ -119,7 +130,7 @@ mpi::Trace Cluster::run(const std::vector<mpi::Program>& programs,
   engine_.run();
 
   for (const auto& proc : processes_)
-    IW_ASSERT(proc->done(), "deadlock: a process never finished its program");
+    IW_CHECK(proc->done(), "deadlock: a process never finished its program");
 
   return trace;
 }

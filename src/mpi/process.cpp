@@ -154,7 +154,7 @@ void Process::resume() {
       continue;
     }
 
-    IW_ASSERT(false, "unhandled op kind");
+    IW_CHECK(false, "unhandled op kind");
   }
 
   // Program complete.

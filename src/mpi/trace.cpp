@@ -21,14 +21,14 @@ void Trace::reserve_rank(int rank, std::size_t segments, std::size_t steps) {
 
 void Trace::add_segment(int rank, Segment seg) {
   IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
-  IW_ASSERT(seg.end >= seg.begin, "segment must have non-negative duration");
+  IW_CHECK(seg.end >= seg.begin, "segment must have non-negative duration");
   segments_[static_cast<std::size_t>(rank)].push_back(seg);
 }
 
 void Trace::mark_step(int rank, std::int32_t step, SimTime when) {
   IW_REQUIRE(rank >= 0 && rank < ranks(), "rank out of range");
   auto& marks = step_begin_[static_cast<std::size_t>(rank)];
-  IW_ASSERT(step == static_cast<std::int32_t>(marks.size()),
+  IW_CHECK(step == static_cast<std::int32_t>(marks.size()),
             "steps must be marked consecutively from zero");
   marks.push_back(when);
 }

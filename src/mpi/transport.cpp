@@ -16,6 +16,10 @@ Transport::Transport(sim::Engine& engine, const net::Topology& topo,
 
 void Transport::reconfigure(const net::FabricProfile& fabric,
                             Options options) {
+  // Reconcile the pools the previous run left behind before recycling them.
+  // A mid-run stop() legitimately leaves in-flight rendezvous records, but
+  // the free list, liveness shadow, and queue canaries must still agree.
+  IW_AUDIT(audit());
   fabric_ = fabric;
   options_ = options;
   eager_limit_ = options.eager_limit_override >= 0
@@ -34,6 +38,9 @@ void Transport::reconfigure(const net::FabricProfile& fabric,
   }
   rdv_slab_.clear();
   rdv_free_.clear();
+#if IW_AUDIT_ENABLED
+  rdv_live_.clear();
+#endif
 
   // Backlog accounting exists only to drive the finite-buffer fallback;
   // under the default infinite capacity the steady-state path skips it
@@ -51,6 +58,12 @@ void Transport::reconfigure(const net::FabricProfile& fabric,
   domains_by_rank_.clear();
   use_domains_ = false;
   stats_ = Stats{};
+
+  // Post-condition: a reconfigured transport holds no protocol state — the
+  // pool accounting must balance back to zero in-flight records.
+  IW_ASSERT(pool_stats().rdv_in_flight == 0,
+            "reconfigure() left rendezvous records in flight");
+  IW_AUDIT(audit());
 }
 
 void Transport::set_processes(Process* const* by_rank) { procs_ = by_rank; }
@@ -82,15 +95,57 @@ std::uint32_t Transport::acquire_rdv() {
   if (!rdv_free_.empty()) {
     const std::uint32_t slot = rdv_free_.back();
     rdv_free_.pop_back();
+    IW_ASSERT(rdv_live_[slot] == 0, "free list handed out a live slot");
+    IW_AUDIT(rdv_live_[slot] = 1);
     return slot;
   }
   if (rdv_slab_.size() == rdv_slab_.capacity()) ++pool_allocations_;
   rdv_slab_.emplace_back();
+  IW_AUDIT(rdv_live_.push_back(1));
   return static_cast<std::uint32_t>(rdv_slab_.size() - 1);
 }
 
 void Transport::release_rdv(std::uint32_t slot) {
+  assert_rdv_live(slot, "release_rdv");
+  IW_AUDIT(rdv_live_[slot] = 0);
+  // Poison the vacated record so a stale slot index riding in a not-yet-
+  // fired closure reads loud defaults instead of plausible stale state.
+  IW_AUDIT(rdv_slab_[slot] = RdvSend{});
   push_counted(rdv_free_, slot);
+}
+
+void Transport::audit() const {
+#if IW_AUDIT_ENABLED
+  IW_ASSERT(rdv_live_.size() == rdv_slab_.size(),
+            "liveness shadow out of step with the rendezvous slab");
+  std::vector<std::uint8_t> on_free_list(rdv_slab_.size(), 0);
+  for (const std::uint32_t slot : rdv_free_) {
+    IW_ASSERT(slot < rdv_slab_.size(),
+              "rendezvous free list references a slot off the slab");
+    IW_ASSERT(!on_free_list[slot], "rendezvous slot freed twice");
+    IW_ASSERT(rdv_live_[slot] == 0, "live rendezvous slot on the free list");
+    on_free_list[slot] = 1;
+  }
+  std::size_t live = 0;
+  for (const std::uint8_t l : rdv_live_) live += l;
+  // The same reconciliation pool_stats() publishes: every slab slot is
+  // either free or in flight, never both, never neither.
+  IW_ASSERT(live + rdv_free_.size() == rdv_slab_.size(),
+            "rendezvous accounting broken: live + free != slab extent");
+  IW_ASSERT(pool_stats().rdv_in_flight == live,
+            "pool_stats in-flight count disagrees with the liveness shadow");
+  for (const RankState& s : ranks_) {
+    s.posted_recvs.audit();
+    s.unexpected_eager.audit();
+    s.unexpected_rts.audit();
+    IW_ASSERT(s.outstanding_handshakes >= 0,
+              "negative outstanding handshake count");
+    for (const std::uint32_t slot : s.deferred)
+      assert_rdv_live(slot, "deferred push list");
+    for (std::size_t i = 0; i < s.unexpected_rts.size(); ++i)
+      assert_rdv_live(s.unexpected_rts[i].slot, "unexpected RTS queue");
+  }
+#endif
 }
 
 void Transport::transfer(net::LinkClass cls, int src, int dst,
@@ -255,6 +310,7 @@ void Transport::send_rendezvous(net::LinkClass cls, int src, int dst, int tag,
 }
 
 void Transport::on_rts_arrival(std::uint32_t slot) {
+  assert_rdv_live(slot, "on_rts_arrival");
   const Envelope envelope = rdv_slab_[slot].envelope;
   RankState& s = state(envelope.dst);
   auto& q = s.posted_recvs;
@@ -270,6 +326,7 @@ void Transport::on_rts_arrival(std::uint32_t slot) {
 }
 
 void Transport::issue_cts(std::uint32_t slot, RequestId recv_request) {
+  assert_rdv_live(slot, "issue_cts");
   RdvSend& send = rdv_slab_[slot];
   send.recv_request = recv_request;
   // The CTS travels dst -> src; the link class is symmetric.
@@ -279,6 +336,7 @@ void Transport::issue_cts(std::uint32_t slot, RequestId recv_request) {
 }
 
 void Transport::on_cts_arrival(std::uint32_t slot) {
+  assert_rdv_live(slot, "on_cts_arrival");
   RankState& s = state(rdv_slab_[slot].envelope.src);
   IW_ASSERT(s.outstanding_handshakes > 0,
             "CTS without an outstanding handshake");
@@ -306,6 +364,7 @@ void Transport::on_cts_arrival(std::uint32_t slot) {
 }
 
 void Transport::push_data(std::uint32_t slot) {
+  assert_rdv_live(slot, "push_data");
   const RdvSend send = rdv_slab_[slot];
   release_rdv(slot);
   IW_ASSERT(send.recv_request >= 0, "data push before the CTS matched");

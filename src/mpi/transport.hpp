@@ -55,6 +55,7 @@
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "support/check.hpp"
 #include "support/ring_queue.hpp"
 
 namespace iw::mpi {
@@ -155,6 +156,15 @@ class Transport {
   [[nodiscard]] std::int64_t eager_limit() const { return eager_limit_; }
   [[nodiscard]] PoolStats pool_stats() const;
 
+  /// Structural audit of the protocol pools (audit builds only; a no-op
+  /// otherwise): rendezvous free-list integrity (on-slab, no double-free),
+  /// slot-liveness reconciliation against pool_stats() (live records ==
+  /// slab extent - free list), deferred-push lists referencing only live
+  /// slots, and per-rank queue canaries. reconfigure() runs it on entry —
+  /// so every sweep-point recycle re-proves the pools — and again after
+  /// clearing, when no record may remain live.
+  void audit() const;
+
   /// End-to-end duration between posting a send and the matching receive
   /// completing, for a message posted into an otherwise idle transport with
   /// the receive pre-posted. This is the `Tcomm` that enters the analytic
@@ -251,6 +261,23 @@ class Transport {
 
   std::uint32_t acquire_rdv();
   void release_rdv(std::uint32_t slot);
+
+#if IW_AUDIT_ENABLED
+  /// Audit-only shadow of the rendezvous slab: 1 = slot holds an in-flight
+  /// record. Lets every protocol step assert its slot is live (a stale slot
+  /// index riding in an event closure is this module's nastiest failure
+  /// mode) and lets audit() reconcile liveness against the free list.
+  std::vector<std::uint8_t> rdv_live_;
+  void assert_rdv_live(std::uint32_t slot, const char* step) const {
+    IW_ASSERT(slot < rdv_slab_.size(),
+              std::string(step) + ": rendezvous slot off the slab");
+    IW_ASSERT(rdv_live_[slot] != 0,
+              std::string(step) + ": rendezvous slot is not live "
+                                  "(stale index in an event closure?)");
+  }
+#else
+  void assert_rdv_live(std::uint32_t, const char*) const {}
+#endif
 
   /// push_back that counts a capacity growth as a pool allocation.
   template <typename T>

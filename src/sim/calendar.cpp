@@ -9,7 +9,7 @@ namespace iw::sim {
 
 std::uint64_t Calendar::schedule(SimTime when, EventFn fn) {
   const std::uint64_t seq = next_seq_++;
-  IW_ASSERT(seq < (1ull << (64 - kSlotBits)), "calendar sequence exhausted");
+  IW_CHECK(seq < (1ull << (64 - kSlotBits)), "calendar sequence exhausted");
   const std::uint32_t slot = acquire_slot(std::move(fn), seq);
   if (std::uint32_t* tail = times_.find_or_insert(when.ns(), slot)) {
     // Timestamp already pending: O(1) chain append, no heap traffic.
@@ -33,6 +33,11 @@ void Calendar::reserve(std::size_t events) {
 }
 
 void Calendar::reset() noexcept {
+  // Audit the structure the finished run left behind: corruption that never
+  // surfaced as a wrong pop is still corruption, and the reuse path is
+  // about to recycle this storage for the next sweep point. (noexcept: an
+  // audit failure here terminates, which is the right call outside tests.)
+  IW_AUDIT(audit());
   heap_.clear();
   slab_.clear();  // destroys any pending closures; capacity is retained
   chain_next_.clear();
@@ -66,7 +71,12 @@ bool Calendar::pop_if_at(SimTime when, EventFn& out) {
 std::uint32_t Calendar::advance_root() {
   Entry& root = heap_.front();
   const auto slot = static_cast<std::uint32_t>(root.seq_slot & kSlotMask);
+  IW_ASSERT(slot < slab_.size(), "heap root references a slot off the slab");
   const std::uint32_t next = chain_next_[slot];
+  IW_ASSERT(next == kNil || next < slab_.size(),
+            "same-time chain link points off the slab");
+  IW_ASSERT(next == kNil || slot_seq_[next] > slot_seq_[slot],
+            "same-time chain is not in FIFO (ascending seq) order");
   if (next != kNil) {
     // Promote the next chained event: the entry keeps its heap position
     // (same time; the entry's seq bits are already minimal for this time).
@@ -87,8 +97,8 @@ std::uint32_t Calendar::acquire_slot(EventFn&& fn, std::uint64_t seq) {
     free_slots_.pop_back();
     slab_[slot] = std::move(fn);
   } else {
-    IW_ASSERT(slab_.size() < kSlotMask,
-              "calendar slab exhausted (>16M pending)");
+    IW_CHECK(slab_.size() < kSlotMask,
+             "calendar slab exhausted (>16M pending)");
     slot = static_cast<std::uint32_t>(slab_.size());
     slab_.push_back(std::move(fn));
     chain_next_.push_back(kNil);
@@ -162,6 +172,75 @@ void Calendar::TimeIndex::clear() noexcept {
   for (Cell& c : cells_) c.state = kFree;
   used_ = 0;
   tombs_ = 0;
+}
+
+#if IW_AUDIT_ENABLED
+const std::uint32_t* Calendar::TimeIndex::find(std::int64_t when_ns) const {
+  if (cells_.empty()) return nullptr;
+  const std::size_t mask = cells_.size() - 1;
+  for (std::size_t i = hash(when_ns) & mask;; i = (i + 1) & mask) {
+    const Cell& c = cells_[i];
+    if (c.state == kFree) return nullptr;
+    if (c.state == kUsed && c.when_ns == when_ns) return &c.tail;
+  }
+}
+#endif
+
+void Calendar::audit() const {
+#if IW_AUDIT_ENABLED
+  // Slab free-list integrity: every free slot is on the slab, and no slot
+  // is freed twice.
+  std::vector<std::uint8_t> is_free(slab_.size(), 0);
+  for (const std::uint32_t slot : free_slots_) {
+    IW_ASSERT(slot < slab_.size(), "free list references a slot off the slab");
+    IW_ASSERT(!is_free[slot], "slot appears twice on the free list");
+    is_free[slot] = 1;
+  }
+  IW_ASSERT(free_slots_.size() + live_ == slab_.size(),
+            "slab accounting broken: live + free != slab extent");
+
+  // Heap order + chain walk. Chains must cover exactly the non-free slots.
+  std::size_t chained = 0;
+  std::vector<std::uint8_t> seen(slab_.size(), 0);
+  std::vector<std::int64_t> times;
+  times.reserve(heap_.size());
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      IW_ASSERT(!earlier(heap_[i], heap_[parent]),
+                "heap order property violated");
+    }
+    times.push_back(heap_[i].when_ns);
+
+    // The time index must map this entry's timestamp to its chain tail.
+    std::uint32_t slot = static_cast<std::uint32_t>(heap_[i].seq_slot & kSlotMask);
+    std::uint64_t prev_seq = 0;
+    std::uint32_t tail = slot;
+    for (bool head = true; slot != kNil;
+         slot = chain_next_[slot], head = false) {
+      IW_ASSERT(slot < slab_.size(), "chain references a slot off the slab");
+      IW_ASSERT(!is_free[slot], "live chain references a freed slot");
+      IW_ASSERT(!seen[slot], "slot reachable from two chains");
+      seen[slot] = 1;
+      IW_ASSERT(head || slot_seq_[slot] > prev_seq,
+                "chain seq not strictly ascending (FIFO order broken)");
+      prev_seq = slot_seq_[slot];
+      tail = slot;
+      ++chained;
+    }
+    const std::uint32_t* indexed = times_.find(heap_[i].when_ns);
+    IW_ASSERT(indexed != nullptr, "pending timestamp missing from time index");
+    IW_ASSERT(*indexed == tail, "time index tail does not match chain tail");
+  }
+  IW_ASSERT(chained == live_, "live counter does not match chained events");
+  IW_ASSERT(times_.live_entries() == heap_.size(),
+            "time index holds entries for non-pending timestamps");
+
+  // At most one heap entry per timestamp (same-time arrivals must chain).
+  std::sort(times.begin(), times.end());
+  IW_ASSERT(std::adjacent_find(times.begin(), times.end()) == times.end(),
+            "duplicate timestamp entries in the heap");
+#endif
 }
 
 void Calendar::TimeIndex::rehash(std::size_t capacity) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sim/event.hpp"
+#include "support/check.hpp"
 
 namespace iw::sim {
 
@@ -73,6 +74,15 @@ class Calendar {
   /// deterministic (time, seq) contract.
   bool pop_if_at(SimTime when, EventFn& out);
 
+  /// Full structural audit (audit builds only; a no-op otherwise). Walks
+  /// the heap (4-ary order property, one entry per timestamp), every
+  /// same-time chain (ascending seq, live slots only), the slab free list
+  /// (no duplicates, no live slot), and the time index (every heap entry's
+  /// timestamp maps to its chain tail), and reconciles the slot accounting:
+  /// chained live events == size() and live + free == slab extent. O(n);
+  /// called from Engine::reset and the audit-mode tests, never per event.
+  void audit() const;
+
  private:
   static constexpr std::size_t kArity = 4;
   static constexpr unsigned kSlotBits = 24;
@@ -104,6 +114,14 @@ class Calendar {
 
     /// Drops every entry; table storage is retained.
     void clear() noexcept;
+
+#if IW_AUDIT_ENABLED
+    /// Audit-only probe: the tail recorded for `when_ns`, or nullptr when
+    /// the timestamp is absent. Mutates nothing.
+    [[nodiscard]] const std::uint32_t* find(std::int64_t when_ns) const;
+    /// Audit-only: number of live (kUsed) cells.
+    [[nodiscard]] std::size_t live_entries() const noexcept { return used_; }
+#endif
 
    private:
     enum : std::uint32_t { kFree = 0, kUsed = 1, kTomb = 2 };

@@ -37,12 +37,17 @@ class Engine {
   /// Rewinds the engine to its freshly constructed state — clock at zero,
   /// counters cleared, every pending event discarded — while keeping the
   /// calendar's slab capacity. The reuse path (Cluster::reset) relies on a
-  /// reset engine being indistinguishable from a new one.
+  /// reset engine being indistinguishable from a new one; audit builds
+  /// verify that post-condition structurally.
   void reset() noexcept {
     calendar_.reset();
     now_ = SimTime::zero();
     stopped_ = false;
     processed_ = 0;
+    IW_ASSERT(calendar_.empty() && calendar_.size() == 0 &&
+                  calendar_.peak_size() == 0,
+              "Engine::reset post-condition: calendar not pristine");
+    IW_AUDIT(calendar_.audit());
   }
 
   /// Pre-sizes the calendar for `events` simultaneously pending events.

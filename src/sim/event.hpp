@@ -70,7 +70,7 @@ class EventFn {
   /// violation and fails loudly (the std::function it replaced threw
   /// std::bad_function_call; silent UB is not acceptable here).
   void operator()() {
-    IW_ASSERT(vtable_ != nullptr, "invoking an empty EventFn");
+    IW_CHECK(vtable_ != nullptr, "invoking an empty EventFn");
     vtable_->invoke(storage_);
   }
 

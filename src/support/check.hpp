@@ -1,0 +1,93 @@
+// Debug-mode invariant checking for idlewave.
+//
+// IW_ASSERT(cond, msg) — cheap internal invariant on a hot path. Checked in
+//   audit builds, compiles to nothing otherwise. Use for per-operation
+//   checks (index ranges, state-machine steps) whose cost would be visible
+//   in the event loop.
+// IW_AUDIT(stmt)       — expensive structural audit (full heap walk,
+//   free-list reconciliation). The whole statement is compiled out of
+//   non-audit builds, so the audited structures may expose audit-only
+//   methods behind #if IW_AUDIT_ENABLED.
+//
+// Gating: audits are ON when the build defines IDLEWAVE_AUDIT (the CMake
+// option of the same name), ON by default in Debug builds (no NDEBUG), and
+// OFF — compiled out entirely, zero code and zero symbols — in Release.
+// The CI Release job proves the compiled-out claim with a symbol check:
+// `nm libidlewave.a` must not contain `iw_audit_failure`.
+//
+// Contrast with support/error.hpp: IW_REQUIRE / IW_CHECK are *always on* in
+// every build type — they guard API misuse and cross-layer contracts whose
+// cost is off the hot path and whose failure modes tests assert on. The
+// rule of thumb: error.hpp protects callers from the library, check.hpp
+// protects the library from itself.
+//
+// Failure behaviour: audit failures throw std::logic_error through
+// iw::check::audit_failure() so tests can assert that a corrupted structure
+// is caught (EXPECT_THROW) without death tests. Note several audited
+// methods are noexcept — an audit failure inside one terminates, which is
+// the right behaviour outside tests anyway.
+#pragma once
+
+#if !defined(IW_AUDIT_ENABLED)
+#if defined(IDLEWAVE_AUDIT)
+#define IW_AUDIT_ENABLED 1
+#elif !defined(NDEBUG)
+#define IW_AUDIT_ENABLED 1
+#else
+#define IW_AUDIT_ENABLED 0
+#endif
+#endif
+
+namespace iw::check {
+
+/// True when this translation unit was compiled with audits on. Benches use
+/// this (plus sanitizer detection) to refuse to record baselines from an
+/// instrumented build.
+inline constexpr bool kAuditEnabled = IW_AUDIT_ENABLED != 0;
+
+}  // namespace iw::check
+
+#if IW_AUDIT_ENABLED
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iw::check {
+
+// Deliberately non-inline-named and only defined in audit builds: its
+// absence from the Release archive is the zero-overhead proof the CI
+// symbol check looks for.
+[[noreturn]] inline void iw_audit_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "audit invariant violated: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace iw::check
+
+#define IW_ASSERT(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::iw::check::iw_audit_failure(#cond, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#define IW_AUDIT(stmt) \
+  do {                 \
+    stmt;              \
+  } while (false)
+
+#else  // !IW_AUDIT_ENABLED
+
+#define IW_ASSERT(cond, msg) \
+  do {                       \
+  } while (false)
+
+#define IW_AUDIT(stmt) \
+  do {                 \
+  } while (false)
+
+#endif  // IW_AUDIT_ENABLED

@@ -1,7 +1,14 @@
-// Lightweight contract checking for idlewave.
+// Always-on contract checking for idlewave.
 //
-// IW_REQUIRE  — precondition check, always on (throws std::invalid_argument).
-// IW_ASSERT   — internal invariant, always on (throws std::logic_error).
+// IW_REQUIRE — precondition check, always on (throws std::invalid_argument).
+// IW_CHECK   — internal invariant, always on (throws std::logic_error).
+//              For cold-path invariants whose failure callers must be able
+//              to observe in every build type (capacity exhaustion, API
+//              misuse that tests assert on).
+//
+// Hot-path invariants use IW_ASSERT / IW_AUDIT from support/check.hpp
+// (included here for convenience): compiled out in Release, on in Debug
+// and under the IDLEWAVE_AUDIT build option.
 //
 // Simulation code favors loud failure over UB: a broken invariant in a
 // discrete-event simulation silently corrupts every number downstream.
@@ -10,6 +17,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "support/check.hpp"
 
 namespace iw {
 
@@ -33,7 +42,7 @@ namespace iw {
                              (msg));                                       \
   } while (false)
 
-#define IW_ASSERT(cond, msg)                                               \
+#define IW_CHECK(cond, msg)                                                \
   do {                                                                     \
     if (!(cond))                                                           \
       ::iw::contract_failure("invariant", #cond, __FILE__, __LINE__,       \

@@ -16,7 +16,7 @@ void TextTable::add_row(std::vector<std::string> cells) {
   IW_REQUIRE(cells.size() <= headers_.size() || headers_.empty(),
              "row has more cells than table columns");
   if (!headers_.empty()) cells.resize(headers_.size());
-  IW_ASSERT(!cells.empty(), "cannot add an empty row; use add_separator");
+  IW_CHECK(!cells.empty(), "cannot add an empty row; use add_separator");
   rows_.push_back(std::move(cells));
 }
 

@@ -470,5 +470,55 @@ TEST(Transport, MemoryPathCopiesContendWithComputeJobs) {
   EXPECT_EQ(recv_done, SimTime::zero() + milliseconds(3.0));
 }
 
+// The transport's structural audit (a no-op in plain Release) must hold at
+// every phase boundary the rendezvous slab and queue pools pass through:
+// warm steady state, a mid-run stop with a record in flight, the
+// reconfigure() recycle, and the drained end state. The pool-accounting
+// reconciliation (pool_stats().rdv_in_flight == live shadow slots) is part
+// of audit() itself, so this doubles as the pool-balance regression test.
+TEST(Transport, AuditHoldsAcrossProtocolPhasesAndReconfigure) {
+  Transport::Options opt;
+  opt.eager_limit_override = 4096;
+  TransportFixture f(4, opt);
+  f.transport_.audit();  // pristine
+
+  for (int r = 0; r < 8; ++r) {
+    f.transport_.post_recv(1, 0, 0, 1000, r * 8 + 0);
+    f.post_send(0, 1, 0, 1000, r * 8 + 1);
+    f.post_send(2, 3, 0, 1000, r * 8 + 2);  // unexpected eager
+    f.post_send(1, 0, 0, 100'000, r * 8 + 3);  // rendezvous, recv later
+    f.engine_.run_until(f.engine_.now() + microseconds(0.5));
+    f.transport_.audit();  // mid-handshake: in-flight records stay balanced
+    f.transport_.post_recv(3, 2, 0, 1000, r * 8 + 4);
+    f.transport_.post_recv(0, 1, 0, 100'000, r * 8 + 5);
+    f.engine_.run();
+    f.transport_.audit();  // drained: rdv_in_flight reconciles to zero
+    EXPECT_EQ(f.transport_.pool_stats().rdv_in_flight, 0u);
+  }
+
+  // Stop with a rendezvous handshake genuinely outstanding, then recycle
+  // the transport for a new sweep point: reconfigure() audits on entry and
+  // must reclaim the in-flight record (post-condition rdv_in_flight == 0).
+  f.transport_.post_recv(1, 0, 0, 100'000, 900);
+  f.post_send(0, 1, 0, 100'000, 901);
+  f.engine_.run_until(f.engine_.now() + microseconds(0.5));
+  EXPECT_EQ(f.transport_.pool_stats().rdv_in_flight, 1u);
+  f.engine_.reset();
+  f.transport_.reconfigure(f.fabric_, opt);
+  f.transport_.audit();
+  EXPECT_EQ(f.transport_.pool_stats().rdv_in_flight, 0u);
+
+  // The recycled transport is fully serviceable (reconfigure() drops the
+  // completion wiring by design — each sweep point re-wires it).
+  f.transport_.set_completion_handler([&f](int rank, RequestId req) {
+    f.completions_[{rank, req}] = f.engine_.now();
+  });
+  f.transport_.post_recv(1, 0, 0, 100'000, 902);
+  f.post_send(0, 1, 0, 100'000, 903);
+  f.engine_.run();
+  f.transport_.audit();
+  EXPECT_TRUE(f.completed(1, 902));
+}
+
 }  // namespace
 }  // namespace iw::mpi

@@ -182,5 +182,42 @@ TEST(Calendar, RandomizedMixDrainsInTimeSeqOrder) {
   }
 }
 
+// Drive the slab/heap/time-index machinery through heavy churn with the
+// structural audit engaged at every step. audit() is a no-op in plain
+// Release, so this test is cheap there and exhaustive in Debug/
+// IDLEWAVE_AUDIT/sanitizer builds: free-list integrity, heap order, chain
+// ordering, and the live-count reconciliation all hold at every
+// intermediate state, including across reset() and slab reuse.
+TEST(Calendar, AuditHoldsThroughChurnAndReset) {
+  Calendar cal;
+  std::uint64_t rng = 0x1D1EAF0000C0DEull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int round = 0; round < 3; ++round) {
+    // Interleave schedules (with many duplicate timestamps, so chains form)
+    // and pops (so slots recycle LIFO while chains are live).
+    for (int i = 0; i < 600; ++i) {
+      cal.schedule(SimTime{static_cast<std::int64_t>(next() % 32)}, [] {});
+      if (i % 3 == 2) {
+        (void)cal.pop();
+        (void)cal.pop();
+      }
+      cal.audit();
+    }
+    while (!cal.empty()) {
+      (void)cal.pop();
+      cal.audit();
+    }
+    cal.reset();  // runs its own IW_AUDIT(audit()) and must leave pristine
+    cal.audit();
+    EXPECT_EQ(cal.size(), 0u);
+    EXPECT_EQ(cal.peak_size(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace iw::sim

@@ -1,0 +1,75 @@
+// Pins the contract of the audit layer (support/check.hpp): IW_ASSERT and
+// IW_AUDIT are real in audit builds (Debug, IDLEWAVE_AUDIT=ON, sanitizer
+// presets) and compile to nothing — conditions unevaluated, statements
+// dropped — everywhere else. The kAuditEnabled constant is the single
+// runtime-queryable source of truth (the bench baseline guard keys off it).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Check, AuditFlagMatchesBuildConfiguration) {
+#if IW_AUDIT_ENABLED
+  EXPECT_TRUE(check::kAuditEnabled);
+#else
+  EXPECT_FALSE(check::kAuditEnabled);
+#endif
+#if defined(IDLEWAVE_AUDIT)
+  // The CMake option force-enables the layer in any build type.
+  EXPECT_TRUE(check::kAuditEnabled);
+#elif !defined(NDEBUG)
+  // Debug builds default the layer on.
+  EXPECT_TRUE(check::kAuditEnabled);
+#else
+  // Plain Release: compiled out — this is the branch the tier-1 Release
+  // run exercises, proving the macros cost nothing there.
+  EXPECT_FALSE(check::kAuditEnabled);
+#endif
+}
+
+TEST(Check, AssertConditionIsNotEvaluatedWhenCompiledOut) {
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  ASSERT_TRUE(probe());  // baseline call, so the lambda is used in any build
+  IW_ASSERT(probe(), "probe");
+  EXPECT_EQ(evaluations, check::kAuditEnabled ? 2 : 1)
+      << "a compiled-out IW_ASSERT must not evaluate its condition";
+}
+
+TEST(Check, AssertThrowsLogicErrorWithContextInAuditBuilds) {
+  if (!check::kAuditEnabled) GTEST_SKIP() << "audit layer compiled out";
+  try {
+    IW_ASSERT(1 + 1 == 3, "the message");
+    FAIL() << "IW_ASSERT(false) did not throw in an audit build";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("the message"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, AuditStatementRunsExactlyInAuditBuilds) {
+  int runs = 0;
+  IW_AUDIT(++runs);
+  EXPECT_EQ(runs, check::kAuditEnabled ? 1 : 0);
+}
+
+TEST(Check, AlwaysOnContractsRemainOnInEveryBuild) {
+  // IW_REQUIRE / IW_CHECK (support/error.hpp) are the always-on tier; the
+  // audit layer must not have weakened them.
+  EXPECT_THROW(IW_REQUIRE(false, "precondition"), std::invalid_argument);
+  EXPECT_THROW(IW_CHECK(false, "invariant"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace iw

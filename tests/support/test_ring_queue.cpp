@@ -1,10 +1,17 @@
 // Tests for the pooled ring buffer behind the transport's matching queues:
 // FIFO semantics, ordered middle erase (both shift directions), growth
-// accounting, and capacity retention across clear().
+// accounting, capacity retention across clear(), and the audit-mode
+// defenses (structural audit, vacated-slot poisoning, misuse detection).
+// Audit-only expectations are gated on iw::check::kAuditEnabled so the
+// suite is meaningful in Release and strict in Debug/IDLEWAVE_AUDIT/
+// sanitizer builds.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
+#include "support/check.hpp"
 #include "support/ring_queue.hpp"
 
 namespace iw {
@@ -72,6 +79,109 @@ TEST(RingQueue, GrowthIsCountedAndClearRetainsCapacity) {
   EXPECT_EQ(q.grows(), 2u);
   for (std::size_t i = 0; i < q.size(); ++i)
     EXPECT_EQ(q[i], static_cast<int>(i));
+}
+
+TEST(RingQueue, WraparoundExactlyAtThePowerOfTwoBoundary) {
+  RingQueue<int> q;
+  // Fill to exactly the initial capacity (8), then walk the head all the
+  // way around: at every step the physical write index crosses the
+  // power-of-two mask boundary once. A masking bug (off-by-one in slot() or
+  // next()) shows up as reordered or clobbered elements within one lap.
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  ASSERT_EQ(q.capacity(), 8u);
+  for (int lap = 0; lap < 16; ++lap) {
+    EXPECT_EQ(q.front(), lap);
+    q.pop_front();
+    q.push_back(lap + 8);
+    q.audit();
+    ASSERT_EQ(q.size(), 8u);
+    EXPECT_EQ(q.capacity(), 8u) << "full-queue lap must not grow";
+    for (std::size_t i = 0; i < q.size(); ++i)
+      ASSERT_EQ(q[i], lap + 1 + static_cast<int>(i));
+  }
+}
+
+TEST(RingQueue, OrderedMiddleEraseOnAWrappedQueue) {
+  // Both erase shift directions, exercised while the live region straddles
+  // the physical end of the buffer (head near the top, tail wrapped).
+  for (const std::size_t victim : {std::size_t{1}, std::size_t{5}}) {
+    RingQueue<int> q;
+    for (int i = 0; i < 8; ++i) q.push_back(i);  // capacity exactly 8
+    for (int i = 0; i < 6; ++i) q.pop_front();   // head_ = 6
+    for (int i = 8; i < 13; ++i) q.push_back(i);  // elements 6..12, wrapped
+    ASSERT_EQ(q.size(), 7u);
+    ASSERT_EQ(q.capacity(), 8u) << "setup must keep the wrapped layout";
+    q.erase(victim);  // 1 shifts the (wrapped) front side, 5 the back side
+    q.audit();
+    std::vector<int> got;
+    for (std::size_t i = 0; i < q.size(); ++i) got.push_back(q[i]);
+    std::vector<int> want;
+    for (int v = 6; v < 13; ++v)
+      if (static_cast<std::size_t>(v - 6) != victim) want.push_back(v);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RingQueue, GrowthWhileNonEmptyAndWrappedPreservesOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) q.pop_front();  // head_ = 5: wrapped after 2 pushes
+  for (int i = 8; i < 16; ++i) q.push_back(i);  // 9th element forces a grow
+  EXPECT_EQ(q.grows(), 2u);  // initial allocation + the mid-flight growth
+  EXPECT_EQ(q.capacity(), 16u);
+  q.audit();
+  ASSERT_EQ(q.size(), 11u);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EXPECT_EQ(q[i], 5 + static_cast<int>(i));
+}
+
+TEST(RingQueue, AuditModePoisonsVacatedSlots) {
+  // Poisoning is observable through resource ownership: once an element is
+  // popped/erased/cleared, an audit build must have overwritten the vacated
+  // slot with T{}, dropping the element's refcount. A non-audit build keeps
+  // the stale copy alive inside the buffer (harmless, but worth pinning so
+  // the poisoning cost never silently leaks into Release).
+  struct Payload {
+    std::shared_ptr<int> p;
+  };
+  const auto expected_after_vacate = [](long base) {
+    return iw::check::kAuditEnabled ? base : base + 1;
+  };
+
+  RingQueue<Payload> q;
+  auto popped = std::make_shared<int>(1);
+  q.push_back(Payload{popped});
+  q.push_back(Payload{std::make_shared<int>(2)});
+  q.push_back(Payload{std::make_shared<int>(3)});
+  q.pop_front();
+  EXPECT_EQ(popped.use_count(), expected_after_vacate(1));
+
+  auto erased = q[0].p;
+  q.erase(0);
+  EXPECT_EQ(erased.use_count(), expected_after_vacate(1));
+
+  // Reuse after clear(): every slot the queue still held is poisoned, and
+  // the storage is safely recyclable for fresh elements.
+  auto cleared = q[0].p;
+  q.clear();
+  EXPECT_EQ(cleared.use_count(), expected_after_vacate(1));
+  for (int i = 0; i < 4; ++i) q.push_back(Payload{std::make_shared<int>(i)});
+  q.audit();
+  ASSERT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(*q[static_cast<std::size_t>(i)].p, i);
+}
+
+TEST(RingQueue, AuditModeCatchesMisuse) {
+  // The misuse paths are contract violations: exercising them is only safe
+  // when the audit layer is compiled in to intercept (in Release they are
+  // documented UB, which is exactly why the audits exist).
+  if (!iw::check::kAuditEnabled) GTEST_SKIP() << "audit layer compiled out";
+  RingQueue<int> q;
+  EXPECT_THROW(q.pop_front(), std::logic_error);
+  EXPECT_THROW((void)q.front(), std::logic_error);
+  q.push_back(7);
+  EXPECT_THROW(q.erase(1), std::logic_error);
+  EXPECT_THROW((void)q[1], std::logic_error);
 }
 
 }  // namespace

@@ -115,8 +115,9 @@ TEST(RecordSchema, EveryColumnHasAResolvableToleranceClass) {
   // exact-class columns include the reproducibility-critical identity
   // fields and approx never applies to text.
   for (const ColumnMeta& meta : record_schema()) {
-    if (meta.type == ColumnType::text)
+    if (meta.type == ColumnType::text) {
       EXPECT_EQ(meta.tolerance, ColumnTolerance::exact) << meta.name;
+    }
   }
   for (const char* must_be_exact :
        {"index", "seed", "protocol", "events_processed",

@@ -1,0 +1,357 @@
+#!/usr/bin/env python3
+"""idlewave project lint: structural rules the compiler cannot enforce.
+
+Rules (each line of output is `path:line: [rule] message`):
+
+  banned-construct   std::function / std::unordered_map / std::shared_ptr in
+                     the hot-path trees (src/sim/, src/mpi/). These layers
+                     were flattened deliberately (PR 1/PR 4): type-erased
+                     dispatch, hashing and refcounts on the per-event or
+                     per-message path are regressions, not style. Exceptions
+                     live in tools/lint/allowlist.txt with a reason.
+  source-registration  every src/**/*.cpp appears in src/CMakeLists.txt and
+                     vice versa (the library lists sources explicitly; an
+                     unlisted file silently never links), and every
+                     tests/**/*.cpp contains a TEST macro and produces a
+                     unique auto-registered target name.
+  include-hygiene    every header under src/ uses `#pragma once` (before any
+                     other preprocessor directive) and never an #ifndef
+                     include guard — one convention, enforced.
+  golden-schema      every tests/golden/*.csv declares the schema-version
+                     header `# iw-golden schema=<v> scenario=<stem>
+                     points=<n>`, where <stem> matches the filename and <n>
+                     matches the data-row count (verify/golden.cpp rejects
+                     drift at load time; this catches it at review time).
+
+Exit status: 0 clean, 1 violations found, 2 internal error.
+
+`--self-test` seeds one violation per rule into a temp tree and requires the
+runner to flag each (and to stay quiet on a clean miniature tree) — so a
+broken rule fails CI instead of rotting into always-green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+BANNED = ("std::function", "std::unordered_map", "std::shared_ptr")
+HOT_TREES = ("src/sim", "src/mpi")
+GOLDEN_HEADER = re.compile(
+    r"^# iw-golden schema=(\d+) scenario=([A-Za-z0-9_]+) points=(\d+)$")
+
+
+def strip_comments(text: str) -> str:
+    """Removes //, /* */ comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif state in ("str", "chr"):
+            if c == "\\":
+                i += 2
+                continue
+            if (state == "str" and c == '"') or (state == "chr" and c == "'"):
+                state = "code"
+            elif c == "\n":  # unterminated literal; never valid C++, recover
+                state = "code"
+                out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def load_allowlist(repo: Path) -> set[tuple[str, str]]:
+    """(relative path, construct) pairs exempt from banned-construct."""
+    allow: set[tuple[str, str]] = set()
+    path = repo / "tools" / "lint" / "allowlist.txt"
+    if not path.is_file():
+        return allow
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise SystemExit(f"allowlist.txt: malformed entry: {raw!r}")
+        allow.add((parts[0], parts[1]))
+    return allow
+
+
+def check_banned_constructs(repo: Path) -> list[str]:
+    problems = []
+    allow = load_allowlist(repo)
+    for tree in HOT_TREES:
+        for path in sorted((repo / tree).rglob("*")):
+            if path.suffix not in (".hpp", ".cpp", ".h"):
+                continue
+            rel = path.relative_to(repo).as_posix()
+            code = strip_comments(path.read_text())
+            for lineno, line in enumerate(code.splitlines(), start=1):
+                for construct in BANNED:
+                    if construct not in line:
+                        continue
+                    if (rel, construct) in allow:
+                        continue
+                    problems.append(
+                        f"{rel}:{lineno}: [banned-construct] {construct} in a "
+                        f"hot-path tree (allowlist: tools/lint/allowlist.txt)")
+    return problems
+
+
+def check_source_registration(repo: Path) -> list[str]:
+    problems = []
+    cml = repo / "src" / "CMakeLists.txt"
+    listed = set(re.findall(r"^\s+([\w/]+\.cpp)$", cml.read_text(), re.M))
+    on_disk = {p.relative_to(repo / "src").as_posix()
+               for p in (repo / "src").rglob("*.cpp")}
+    for missing in sorted(on_disk - listed):
+        problems.append(
+            f"src/{missing}:1: [source-registration] not listed in "
+            f"src/CMakeLists.txt — it will never be linked into the library")
+    for stale in sorted(listed - on_disk):
+        problems.append(
+            f"src/CMakeLists.txt:1: [source-registration] lists src/{stale} "
+            f"which does not exist")
+
+    # Tests: the build glob auto-registers every tests/**/*.cpp; require each
+    # to actually define tests, and require the path->target transformation
+    # (slashes and dots to underscores) to stay collision-free.
+    targets: dict[str, str] = {}
+    for path in sorted((repo / "tests").rglob("*.cpp")):
+        rel = path.relative_to(repo).as_posix()
+        text = path.read_text()
+        if not re.search(r"\b(TEST|TEST_F|TEST_P|TYPED_TEST)\s*\(", text):
+            problems.append(
+                f"{rel}:1: [source-registration] contains no TEST macro — it "
+                f"builds an executable that exercises nothing")
+        target = rel[len("tests/"):].replace("/", "_").replace(".cpp", "")
+        if target in targets:
+            problems.append(
+                f"{rel}:1: [source-registration] auto-registered target name "
+                f"'{target}' collides with {targets[target]}")
+        else:
+            targets[target] = rel
+    return problems
+
+
+def check_include_hygiene(repo: Path) -> list[str]:
+    problems = []
+    for path in sorted((repo / "src").rglob("*.hpp")):
+        rel = path.relative_to(repo).as_posix()
+        first_directive = None
+        guard_line = None
+        for lineno, line in enumerate(
+                strip_comments(path.read_text()).splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped.startswith("#"):
+                continue
+            if first_directive is None:
+                first_directive = (lineno, stripped)
+            if re.match(r"#\s*ifndef\s+\w+_(HPP|H)\b", stripped):
+                guard_line = lineno
+            break_after = False
+            if first_directive and guard_line:
+                break_after = True
+            if break_after:
+                break
+        if first_directive is None or first_directive[1] != "#pragma once":
+            where = first_directive[0] if first_directive else 1
+            problems.append(
+                f"{rel}:{where}: [include-hygiene] first preprocessor "
+                f"directive must be '#pragma once'")
+        if guard_line is not None:
+            problems.append(
+                f"{rel}:{guard_line}: [include-hygiene] #ifndef include "
+                f"guard — this repo uses '#pragma once' exclusively")
+    return problems
+
+
+def check_golden_schema(repo: Path) -> list[str]:
+    problems = []
+    for path in sorted((repo / "tests" / "golden").glob("*.csv")):
+        rel = path.relative_to(repo).as_posix()
+        lines = path.read_text().splitlines()
+        if not lines:
+            problems.append(f"{rel}:1: [golden-schema] empty golden file")
+            continue
+        m = GOLDEN_HEADER.match(lines[0])
+        if not m:
+            problems.append(
+                f"{rel}:1: [golden-schema] first line must be "
+                f"'# iw-golden schema=<v> scenario=<name> points=<n>', "
+                f"got: {lines[0]!r}")
+            continue
+        if m.group(2) != path.stem:
+            problems.append(
+                f"{rel}:1: [golden-schema] scenario '{m.group(2)}' does not "
+                f"match filename stem '{path.stem}'")
+        data_rows = max(0, len([l for l in lines[1:] if l.strip()]) - 1)
+        if int(m.group(3)) != data_rows:
+            problems.append(
+                f"{rel}:1: [golden-schema] header declares "
+                f"points={m.group(3)} but the file holds {data_rows} "
+                f"data rows")
+    return problems
+
+
+RULES = {
+    "banned-construct": check_banned_constructs,
+    "source-registration": check_source_registration,
+    "include-hygiene": check_include_hygiene,
+    "golden-schema": check_golden_schema,
+}
+
+
+def run_lint(repo: Path) -> list[str]:
+    problems: list[str] = []
+    for check in RULES.values():
+        problems.extend(check(repo))
+    return problems
+
+
+# --------------------------------------------------------------------------
+# Self-test: a miniature clean tree must pass; one seeded violation per rule
+# must fail with that rule's tag.
+# --------------------------------------------------------------------------
+
+CLEAN_HPP = "#pragma once\n\nnamespace iw {}\n"
+
+
+def make_clean_tree(root: Path) -> None:
+    (root / "src" / "sim").mkdir(parents=True)
+    (root / "src" / "mpi").mkdir(parents=True)
+    (root / "tests" / "golden").mkdir(parents=True)
+    (root / "tools" / "lint").mkdir(parents=True)
+    (root / "src" / "sim" / "calendar.hpp").write_text(CLEAN_HPP)
+    (root / "src" / "sim" / "calendar.cpp").write_text(
+        '#include "sim/calendar.hpp"\n'
+        "// a comment mentioning std::function must not trip the rule\n"
+        'const char* kNote = "std::shared_ptr in a string is fine";\n')
+    (root / "src" / "CMakeLists.txt").write_text(
+        "add_library(idlewave STATIC\n  sim/calendar.cpp\n)\n")
+    (root / "tests" / "sim_test.cpp").write_text(
+        "TEST(Mini, Works) {}\n")
+    (root / "tests" / "golden" / "mini.csv").write_text(
+        "# iw-golden schema=1 scenario=mini points=1\n"
+        "index,np\n0,4\n")
+
+
+def seed_violation(root: Path, rule: str) -> None:
+    if rule == "banned-construct":
+        (root / "src" / "mpi" / "bad.hpp").write_text(
+            "#pragma once\n#include <functional>\n"
+            "using Fn = std::function<void()>;\n")
+    elif rule == "source-registration":
+        (root / "src" / "sim" / "orphan.cpp").write_text("int orphan() { return 1; }\n")
+    elif rule == "include-hygiene":
+        (root / "src" / "sim" / "guarded.hpp").write_text(
+            "#ifndef GUARDED_HPP\n#define GUARDED_HPP\n#endif\n")
+    elif rule == "golden-schema":
+        (root / "tests" / "golden" / "drift.csv").write_text(
+            "# iw-golden schema=1 scenario=drift points=5\nindex,np\n0,4\n")
+    else:
+        raise AssertionError(f"no seeder for rule {rule}")
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="iw-lint-selftest-") as tmp:
+        clean = Path(tmp) / "clean"
+        clean.mkdir()
+        make_clean_tree(clean)
+        baseline = run_lint(clean)
+        if baseline:
+            failures.append(
+                "clean miniature tree reported problems:\n  "
+                + "\n  ".join(baseline))
+        for rule in RULES:
+            tree = Path(tmp) / rule
+            tree.mkdir()
+            make_clean_tree(tree)
+            seed_violation(tree, rule)
+            found = run_lint(tree)
+            if not any(f"[{rule}]" in p for p in found):
+                failures.append(
+                    f"seeded {rule} violation was not flagged "
+                    f"(got: {found or 'nothing'})")
+    if failures:
+        print("lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"lint self-test OK: {len(RULES)} rules each caught their "
+          f"seeded violation and stayed quiet on a clean tree")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo", type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="repository root (default: two directories up from this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule catches a seeded violation")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    problems = run_lint(args.repo)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\nlint: {len(problems)} problem(s) found", file=sys.stderr)
+        return 1
+    print(f"lint: clean ({len(RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SystemExit:
+        raise
+    except Exception as exc:  # internal error: distinct exit code
+        print(f"lint: internal error: {exc}", file=sys.stderr)
+        sys.exit(2)

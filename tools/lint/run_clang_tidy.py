@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a zero-NEW-warnings gate.
+
+Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+translation unit of the idlewave library using the compilation database
+exported by CMake, normalizes the diagnostics to stable fingerprints
+(`path:check-name` — line numbers shift too easily to key on), and compares
+them against the checked-in baseline tools/lint/clang_tidy_baseline.txt:
+
+  * a diagnostic whose fingerprint is NOT in the baseline fails the run
+    (exit 1) — new warnings are blocked;
+  * baseline fingerprints that no longer occur are reported so the baseline
+    can be shrunk (never grown) in the same PR that fixes them;
+  * --update-baseline rewrites the baseline from the current state.
+
+The baseline starts (and should stay) empty: it exists so that adopting a
+newer clang-tidy with new checks blocks the *new* findings without
+reverting the gate wholesale.
+
+Exit status: 0 clean, 1 new warnings, 2 environment error (no clang-tidy,
+no compile_commands.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+BASELINE = REPO / "tools" / "lint" / "clang_tidy_baseline.txt"
+DIAG = re.compile(r"^(?P<path>[^:\s]+):(?P<line>\d+):\d+: warning: .* "
+                  r"\[(?P<check>[\w.,-]+)\]$")
+
+
+def load_baseline() -> set[str]:
+    if not BASELINE.is_file():
+        return set()
+    return {line.strip() for line in BASELINE.read_text().splitlines()
+            if line.strip() and not line.startswith("#")}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, default=REPO / "build",
+                        help="build tree containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="(reserved) parallelism; runs serially today")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        print(f"run_clang_tidy: {args.clang_tidy} not found on PATH "
+              f"(CI installs it; locally: use a clang toolchain)",
+              file=sys.stderr)
+        return 2
+    cdb = args.build_dir / "compile_commands.json"
+    if not cdb.is_file():
+        print(f"run_clang_tidy: {cdb} missing — configure with CMake first "
+              f"(CMAKE_EXPORT_COMPILE_COMMANDS is ON by default)",
+              file=sys.stderr)
+        return 2
+
+    entries = json.loads(cdb.read_text())
+    sources = sorted({e["file"] for e in entries
+                      if "/src/" in e["file"].replace("\\", "/")
+                      and e["file"].endswith(".cpp")})
+    if not sources:
+        print("run_clang_tidy: no src/ translation units in the database",
+              file=sys.stderr)
+        return 2
+
+    fingerprints: set[str] = set()
+    lines_by_fp: dict[str, list[str]] = {}
+    for src in sources:
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(args.build_dir), "--quiet",
+             # GCC-only flags in the database (e.g. -Wno-psabi) are not
+             # errors worth failing the gate over.
+             "--extra-arg=-Wno-unknown-warning-option", src],
+            capture_output=True, text=True)
+        for line in proc.stdout.splitlines():
+            m = DIAG.match(line.strip())
+            if not m:
+                continue
+            try:
+                rel = Path(m.group("path")).resolve().relative_to(REPO)
+            except ValueError:
+                continue  # diagnostics from system/third-party headers
+            for check in m.group("check").split(","):
+                fp = f"{rel.as_posix()}:{check}"
+                fingerprints.add(fp)
+                lines_by_fp.setdefault(fp, []).append(line.strip())
+
+    if args.update_baseline:
+        body = "\n".join(sorted(fingerprints))
+        BASELINE.write_text(
+            "# clang-tidy baseline: fingerprints (path:check) of accepted\n"
+            "# pre-existing diagnostics. Shrink this file, never grow it —\n"
+            "# new warnings must be fixed, not pinned.\n" + body +
+            ("\n" if body else ""))
+        print(f"baseline updated: {len(fingerprints)} fingerprint(s)")
+        return 0
+
+    baseline = load_baseline()
+    new = sorted(fingerprints - baseline)
+    fixed = sorted(baseline - fingerprints)
+    for fp in new:
+        for line in lines_by_fp[fp]:
+            print(line)
+    if fixed:
+        print(f"note: {len(fixed)} baseline fingerprint(s) no longer occur; "
+              f"shrink tools/lint/clang_tidy_baseline.txt:", file=sys.stderr)
+        for fp in fixed:
+            print(f"  {fp}", file=sys.stderr)
+    if new:
+        print(f"\nrun_clang_tidy: {len(new)} NEW warning fingerprint(s) "
+              f"(zero-new-warnings gate)", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean over {len(sources)} TU(s) "
+          f"({len(baseline)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
