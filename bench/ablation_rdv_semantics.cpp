@@ -1,12 +1,16 @@
-// Ablation: the deferred-push rendezvous rule (DESIGN.md Sec. 1.1).
+// Ablation: rendezvous wire semantics and sigma (DESIGN.md Sec. 1.1).
 //
 // The paper observes sigma = 2 for bidirectional rendezvous communication.
 // Under a fully asynchronous ("independent") progress semantic every mode
 // propagates at sigma = 1; the deferred-push rule — data pushes stall while
 // any of the sender's rendezvous handshakes is outstanding — is exactly
-// what recovers the paper's observation. This bench runs the Fig. 5(g)
-// setup under both semantics.
+// what recovers the paper's observation. The one-sided wire flavors
+// (rdma_put, rdma_get) move the payload without a sender-side push
+// pipeline, so they must stay at sigma ~1 even bidirectionally — the
+// doubling is a property of the two-sided coupled pipeline, not of the
+// handshake. This bench runs the Fig. 5(g) setup across all semantics.
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
@@ -21,18 +25,34 @@ int bench_main(int argc, char** argv) {
   auto csv = bench::csv_from_cli(cli);
 
   bench::print_header(
-      "Ablation — rendezvous pipelining semantics and sigma",
+      "Ablation — rendezvous wire semantics and sigma",
       "Fig. 5(g) setup: bidirectional rendezvous, open boundary, 18 ranks; "
-      "unidirectional rendezvous as control");
+      "unidirectional rendezvous as control; RDMA flavors as decoupled "
+      "counterpoints");
 
   TextTable table;
-  table.columns({"pipelining", "direction", "v_meas [r/s]",
+  table.columns({"mode", "direction", "v_meas [r/s]",
                  "v / v_uni-independent", "sigma observed"});
-  csv.header({"pipelining", "direction", "v_meas", "sigma"});
+  csv.header({"mode", "direction", "v_meas", "sigma"});
+
+  struct Mode {
+    const char* label;
+    mpi::RendezvousFlavor flavor;
+    mpi::RendezvousPipelining pipelining;
+  };
+  const Mode modes[] = {
+      {"two_sided/independent", mpi::RendezvousFlavor::two_sided,
+       mpi::RendezvousPipelining::independent},
+      {"two_sided/deferred_push", mpi::RendezvousFlavor::two_sided,
+       mpi::RendezvousPipelining::deferred_push},
+      {"rdma_put", mpi::RendezvousFlavor::rdma_put,
+       mpi::RendezvousPipelining::deferred_push},
+      {"rdma_get", mpi::RendezvousFlavor::rdma_get,
+       mpi::RendezvousPipelining::deferred_push},
+  };
 
   double baseline = 0.0;
-  for (const auto pipelining : {mpi::RendezvousPipelining::independent,
-                                mpi::RendezvousPipelining::deferred_push}) {
+  for (const Mode& mode : modes) {
     for (const auto dir : {workload::Direction::unidirectional,
                            workload::Direction::bidirectional}) {
       workload::RingSpec ring;
@@ -47,7 +67,8 @@ int bench_main(int argc, char** argv) {
       core::WaveExperiment exp;
       exp.ring = ring;
       exp.cluster = core::cluster_for_ring(ring);
-      exp.cluster.transport.pipelining = pipelining;
+      exp.cluster.transport.rendezvous.flavor = mode.flavor;
+      exp.cluster.transport.rendezvous.pipelining = mode.pipelining;
       exp.delays = workload::single_delay(5, 0, milliseconds(13.5));
 
       const auto result = core::run_wave_experiment(exp);
@@ -56,24 +77,21 @@ int bench_main(int argc, char** argv) {
       const double sigma_observed =
           v * result.measured_cycle.sec();  // hops per cycle, d = 1
 
-      const char* pipe_label =
-          pipelining == mpi::RendezvousPipelining::independent
-              ? "independent"
-              : "deferred_push";
       const char* dir_label =
           dir == workload::Direction::unidirectional ? "uni" : "bidi";
-      table.add_row({pipe_label, dir_label, fmt_fixed(v, 1),
+      table.add_row({mode.label, dir_label, fmt_fixed(v, 1),
                      fmt_fixed(v / baseline, 2),
                      fmt_fixed(sigma_observed, 2)});
-      csv.row({pipe_label, dir_label, csv_num(v), csv_num(sigma_observed)});
+      csv.row({mode.label, dir_label, csv_num(v), csv_num(sigma_observed)});
     }
   }
 
   std::cout << table.render() << "\n";
   std::cout
-      << "Expected: sigma ~1 everywhere under `independent`; only\n"
-         "`deferred_push` + bidirectional reaches sigma ~2 — the paper's\n"
-         "observed doubling requires the sender-side pipeline coupling.\n";
+      << "Expected: sigma ~1 everywhere under `two_sided/independent` and\n"
+         "both RDMA flavors; only `two_sided/deferred_push` + bidirectional\n"
+         "reaches sigma ~2 — the paper's observed doubling requires the\n"
+         "sender-side pipeline coupling the one-sided flavors lack.\n";
   return 0;
 }
 

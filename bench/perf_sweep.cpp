@@ -10,11 +10,15 @@
 // subsystem is what turns those from a shell loop into one process.
 //
 // Flags: --json=<path> (default BENCH_sweep.json), --scenario=<name>,
-//        --threads=1,2,4,8, --reps=N, --steps=N, --smoke (CI-sized run).
+//        --threads=1,2,4,8, --reps=N, --steps=N, --smoke (CI-sized run),
+//        --baseline=<path> (regression-check max_speedup against a stored
+//        artifact — only enforced when both artifacts are valid parallel
+//        baselines, so a single-core box cannot fail on speedup noise).
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -52,10 +56,38 @@ struct Run {
   std::uint64_t checksum = 0;
 };
 
+/// Minimal field extraction from our own generated artifact (flat keys,
+/// no nesting ambiguity) — not a general JSON parser.
+struct Baseline {
+  bool valid_parallel_baseline = false;
+  double max_speedup = 0.0;
+};
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read baseline " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto field = [&text, &path](const std::string& key) {
+    const auto pos = text.find("\"" + key + "\"");
+    if (pos == std::string::npos)
+      throw std::runtime_error("baseline " + path + " lacks field " + key);
+    const auto colon = text.find(':', pos);
+    return text.substr(colon + 1, text.find_first_of(",\n}", colon) - colon - 1);
+  };
+  Baseline b;
+  b.valid_parallel_baseline =
+      field("valid_parallel_baseline").find("true") != std::string::npos;
+  b.max_speedup = std::stod(field("max_speedup"));
+  return b;
+}
+
 int bench_main(int argc, char** argv) {
   if (const int rc = bench::refuse_if_instrumented("perf_sweep")) return rc;
   const Cli cli(argc, argv);
-  cli.allow_only({"json", "scenario", "threads", "reps", "steps", "smoke"});
+  cli.allow_only(
+      {"json", "scenario", "threads", "reps", "steps", "smoke", "baseline"});
   const bool smoke = cli.has("smoke");
   const std::string json_path = cli.get_or("json", "BENCH_sweep.json");
   const std::string scenario_name =
@@ -174,7 +206,31 @@ int bench_main(int argc, char** argv) {
       << (valid_parallel_baseline ? "true" : "false") << "\n  }\n}\n";
   std::cout << "\nwrote " << json_path << "\n";
 
-  return deterministic ? 0 : 1;
+  // Speedup regression gate: only meaningful when the stored baseline was
+  // measured on enough cores AND this run is too. A single-core box (the
+  // valid_parallel_baseline=false debt) skips the check loudly instead of
+  // failing on noise around 1.0 — refresh the stored artifact from the CI
+  // runner's bench-and-sweep upload to arm it.
+  bool speedup_ok = true;
+  if (const auto baseline_path = cli.get("baseline")) {
+    const Baseline baseline = load_baseline(*baseline_path);
+    if (!baseline.valid_parallel_baseline || !valid_parallel_baseline) {
+      std::cout << "speedup gate SKIPPED: "
+                << (baseline.valid_parallel_baseline
+                        ? "this box cannot measure parallel scaling"
+                        : "stored baseline was not a valid parallel baseline")
+                << " (deterministic-output gate still enforced)\n";
+    } else {
+      // Allow a third of the baseline's parallel gain as run-to-run noise.
+      const double floor = 1.0 + (baseline.max_speedup - 1.0) * 2.0 / 3.0;
+      speedup_ok = max_speedup >= floor;
+      std::cout << "speedup gate vs " << *baseline_path << ": " << max_speedup
+                << "x measured, floor " << floor << "x -> "
+                << (speedup_ok ? "ok" : "REGRESSION") << "\n";
+    }
+  }
+
+  return deterministic && speedup_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -6,12 +6,16 @@
 //       --csv=speed.csv --jsonl=speed.jsonl
 //   ./build/examples/sweep_runner --scenario=decay_vs_size
 //       --msg-bytes=8192,65536,1048576 --noise=5,25 --seed=7
+//   ./build/examples/sweep_runner --scenario=nic_injection_sweep
+//       --nic-depth=0,4,1 --rdv-flavor=two_sided,rdma_put
 //
-// Axis overrides (--delay-ms, --msg-bytes, --np, --ppn, --noise) take
-// comma-separated lists; scalar overrides (--steps, --seed) apply to the
-// whole campaign. An N-thread run writes byte-identical output to the
-// single-threaded run: point seeds are fixed at expansion and records are
-// delivered to the sinks in point order.
+// Every axis of the IW_SWEEP_AXES registry is overridable as a
+// comma-separated list under its declared flag (--delay-ms, --msg-bytes,
+// --np, --ppn, --noise, --direction, --boundary, --nic-depth,
+// --eager-credits, --rdv-flavor); scalar overrides (--steps, --seed) apply
+// to the whole campaign. An N-thread run writes byte-identical output to
+// the single-threaded run: point seeds are fixed at expansion and records
+// are delivered to the sinks in point order.
 #include <cstdint>
 #include <iostream>
 #include <limits>
@@ -22,6 +26,7 @@
 
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "sweep/axes.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/scenario.hpp"
 
@@ -42,9 +47,12 @@ void print_catalog() {
 
 int sweep_main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  cli.allow_only({"scenario", "list", "threads", "csv", "jsonl", "delay-ms",
-                  "msg-bytes", "np", "ppn", "noise", "steps", "seed",
-                  "quiet"});
+  std::vector<std::string> known_flags = {"scenario", "list", "threads",
+                                          "csv",      "jsonl", "steps",
+                                          "seed",     "quiet"};
+  for (std::string& flag : sweep::axis_cli_flags())
+    known_flags.push_back(std::move(flag));
+  cli.allow_only(known_flags);
 
   if (cli.has("list") || !cli.has("scenario")) {
     print_catalog();
@@ -61,11 +69,7 @@ int sweep_main(int argc, char** argv) {
   }
 
   sweep::SweepSpec spec = scenario->spec;
-  spec.delay_ms = cli.get_list_or("delay-ms", spec.delay_ms);
-  spec.msg_bytes = cli.get_list_or("msg-bytes", spec.msg_bytes);
-  spec.noise_E_percent = cli.get_list_or("noise", spec.noise_E_percent);
-  spec.np = cli.get_int_list_or("np", spec.np);
-  spec.ppn = cli.get_int_list_or("ppn", spec.ppn);
+  sweep::apply_axis_overrides(spec, cli);
   spec.steps = static_cast<int>(
       cli.get_or("steps", static_cast<std::int64_t>(spec.steps)));
   spec.campaign_seed = static_cast<std::uint64_t>(cli.get_or(

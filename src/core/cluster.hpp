@@ -45,7 +45,7 @@ struct ClusterConfig {
   net::TopologySpec topo;
   net::FabricProfile fabric = net::FabricProfile::infiniband_qdr();
   noise::NoiseSpec system_noise = noise::NoiseSpec::none();
-  mpi::Transport::Options transport;
+  mpi::TransportConfig transport;
   std::optional<MemorySystem> memory;  ///< required for memory-bound work
   std::uint64_t seed = 0x1D1E57A7Eull;  // "idle state"
 };

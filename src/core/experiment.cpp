@@ -47,11 +47,15 @@ namespace {
 /// workloads, whose backlogs drain every step).
 mpi::WireProtocol protocol_for(const ClusterConfig& config,
                                std::int64_t bytes) {
-  const std::int64_t limit = config.transport.eager_limit_override >= 0
-                                 ? config.transport.eager_limit_override
-                                 : config.fabric.eager_limit_bytes;
-  return bytes > limit ? mpi::WireProtocol::rendezvous
-                       : mpi::WireProtocol::eager;
+  return config.transport.protocol_by_size(bytes,
+                                           config.fabric.eager_limit_bytes);
+}
+
+/// Demotion counter for the sweep observable: eager-sized sends the
+/// transport pushed to rendezvous (finite buffer or exhausted credits).
+std::uint64_t eager_demotions_of(const Cluster& cluster) {
+  const auto& s = cluster.transport_stats();
+  return s.eager_fallbacks + s.credit_stalls;
 }
 
 WaveResult run_grid_experiment(Cluster& cluster, const WaveExperiment& exp) {
@@ -63,6 +67,7 @@ WaveResult run_grid_experiment(Cluster& cluster, const WaveExperiment& exp) {
                     Duration::zero(), 0.0, SimTime::zero(),
                     cluster.events_processed(),
                     cluster.peak_events_pending()};
+  result.eager_demotions = eager_demotions_of(cluster);
   if (exp.delays.empty()) return result;
 
   const int inj_rank = exp.delays.front().rank;
@@ -112,7 +117,8 @@ WaveResult run_grid_experiment(Cluster& cluster, const WaveExperiment& exp) {
   if (result.measured_cycle.ns() > 0)
     result.predicted_speed =
         static_cast<double>(sigma_factor(workload::Direction::bidirectional,
-                                         result.protocol)) /
+                                         result.protocol,
+                                         exp.cluster.transport)) /
         result.measured_cycle.sec();
   return result;
 }
@@ -124,6 +130,7 @@ WaveResult run_ring_experiment(Cluster& cluster, const WaveExperiment& exp) {
                     {}, {}, mpi::WireProtocol::eager, Duration::zero(), 0.0,
                     SimTime::zero(), cluster.events_processed(),
                     cluster.peak_events_pending()};
+  result.eager_demotions = eager_demotions_of(cluster);
 
   result.protocol = protocol_for(exp.cluster, exp.ring.msg_bytes);
 
@@ -167,7 +174,8 @@ WaveResult run_ring_experiment(Cluster& cluster, const WaveExperiment& exp) {
         measured_cycle(result.trace, far_rank, 1, exp.ring.steps - 1);
 
   if (result.measured_cycle.ns() > 0) {
-    const int sigma = sigma_factor(exp.ring.direction, result.protocol);
+    const int sigma = sigma_factor(exp.ring.direction, result.protocol,
+                                   exp.cluster.transport);
     result.predicted_speed =
         static_cast<double>(sigma) *
         static_cast<double>(exp.ring.distance) / result.measured_cycle.sec();

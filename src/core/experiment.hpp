@@ -50,6 +50,10 @@ struct WaveResult {
   /// peak population (simulation-cost figures tracked by bench/perf_engine).
   std::uint64_t events_processed = 0;
   std::size_t peak_events_pending = 0;
+  /// Eager-sized sends the transport demoted to rendezvous during the run:
+  /// finite-buffer fallbacks plus credit-window stalls. Zero under the
+  /// ideal configuration; a sweep observable for the flow-control axes.
+  std::uint64_t eager_demotions = 0;
 };
 
 /// Runs the experiment. If `delays` is empty the wave analyses stay empty.

@@ -11,6 +11,15 @@ int sigma_factor(workload::Direction direction, mpi::WireProtocol protocol) {
   return bidi_rendezvous ? 2 : 1;
 }
 
+int sigma_factor(workload::Direction direction, mpi::WireProtocol protocol,
+                 const mpi::TransportConfig& config) {
+  const bool coupled_push =
+      config.rendezvous.flavor == mpi::RendezvousFlavor::two_sided &&
+      config.rendezvous.pipelining == mpi::RendezvousPipelining::deferred_push;
+  if (!coupled_push) return 1;
+  return sigma_factor(direction, protocol);
+}
+
 double v_silent(int sigma, int distance, Duration texec, Duration tcomm) {
   IW_REQUIRE(sigma == 1 || sigma == 2, "sigma must be 1 or 2");
   IW_REQUIRE(distance >= 1, "distance must be >= 1");

@@ -10,14 +10,26 @@
 #pragma once
 
 #include "mpi/message.hpp"
+#include "mpi/transport_config.hpp"
 #include "support/time.hpp"
 #include "workload/ring.hpp"
 
 namespace iw::core {
 
-/// The sigma factor of Eq. 2.
+/// The sigma factor of Eq. 2. This overload assumes the paper's production
+/// transport semantics: two-sided rendezvous with deferred pushes.
 [[nodiscard]] int sigma_factor(workload::Direction direction,
                                mpi::WireProtocol protocol);
+
+/// Config-aware sigma: the factor-2 coupling exists only when a
+/// bidirectional rendezvous push can be held behind the sender's other
+/// outstanding handshake — i.e. under the two_sided flavor with
+/// deferred_push pipelining. One-sided puts/gets are executed by the NIC
+/// independently of the sender's handshake state, so they propagate at
+/// sigma = 1 (as does the `independent` pipelining ablation).
+[[nodiscard]] int sigma_factor(workload::Direction direction,
+                               mpi::WireProtocol protocol,
+                               const mpi::TransportConfig& config);
 
 /// v_silent in ranks per second.
 [[nodiscard]] double v_silent(int sigma, int distance, Duration texec,

@@ -24,6 +24,33 @@ enum class WireProtocol : std::uint8_t { eager, rendezvous };
 /// modes propagate at sigma = 1 (the ablation bench demonstrates this).
 enum class RendezvousPipelining : std::uint8_t { deferred_push, independent };
 
+/// How the rendezvous payload actually moves once the handshake matches.
+///
+/// `two_sided` is the classic RTS/CTS/push exchange: the receiver answers the
+/// RTS with a CTS, the sender pushes payload, and the *receiver's CPU*
+/// completes the message (charged a receive overhead `o`).
+///
+/// `rdma_put` models a one-sided writer protocol (LCI's RECV_READY /
+/// SEND_WRITE_FIN shape): the CTS doubles as an RTR carrying the target
+/// address and remote key, the sender's NIC puts the payload straight into
+/// the receive buffer, and a trailing FIN control message — not the payload
+/// arrival — completes the receiver. No receive-side CPU overhead is charged.
+///
+/// `rdma_get` models a one-sided reader protocol: the RTS itself carries the
+/// source buffer's remote key, the receiver issues a GET request (a control
+/// message back to the source), the source NIC streams the payload without
+/// CPU involvement, and a FIN from the receiver retires the sender's buffer.
+enum class RendezvousFlavor : std::uint8_t { two_sided, rdma_put, rdma_get };
+
+[[nodiscard]] constexpr const char* to_string(RendezvousFlavor f) {
+  switch (f) {
+    case RendezvousFlavor::two_sided: return "two_sided";
+    case RendezvousFlavor::rdma_put: return "rdma_put";
+    case RendezvousFlavor::rdma_get: return "rdma_get";
+  }
+  return "?";
+}
+
 /// Message envelope used for matching: MPI matches on (source, tag) within a
 /// communicator; we have a single communicator per simulation.
 struct Envelope {

@@ -1,6 +1,7 @@
 #include "mpi/transport.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "mpi/process.hpp"
@@ -9,30 +10,41 @@
 namespace iw::mpi {
 
 Transport::Transport(sim::Engine& engine, const net::Topology& topo,
-                     const net::FabricProfile& fabric, Options options)
+                     const net::FabricProfile& fabric,
+                     const TransportConfig& config)
     : engine_(engine), topo_(topo) {
-  reconfigure(fabric, options);
+  reconfigure(fabric, config);
 }
 
 void Transport::reconfigure(const net::FabricProfile& fabric,
-                            Options options) {
+                            const TransportConfig& config) {
   // Reconcile the pools the previous run left behind before recycling them.
   // A mid-run stop() legitimately leaves in-flight rendezvous records, but
   // the free list, liveness shadow, and queue canaries must still agree.
   IW_AUDIT(audit());
+  config.validate();
   fabric_ = fabric;
-  options_ = options;
-  eager_limit_ = options.eager_limit_override >= 0
-                     ? options.eager_limit_override
-                     : fabric_.eager_limit_bytes;
+  config_ = config;
+  eager_limit_ = config_.eager_limit_for(fabric_.eager_limit_bytes);
   nranks_ = static_cast<std::size_t>(topo_.ranks());
+
+  // Config-derived fast flags: every optional subsystem (finite NIC,
+  // finite eager buffer, credit window) costs nothing when disabled.
+  nic_limited_ = config_.nic.injection_depth > 0;
+  nic_depth_ = config_.nic.injection_depth;
+  nic_backlog_cap_ = config_.nic.backlog_capacity;
+  track_credits_ = config_.eager.credit_window > 0;
+  credit_window_ = config_.eager.credit_window;
+  flavor_ = config_.rendezvous.flavor;
 
   if (ranks_.size() != nranks_) ranks_.resize(nranks_);
   for (RankState& s : ranks_) {
     s.posted_recvs.clear();
     s.unexpected_eager.clear();
     s.unexpected_rts.clear();
+    s.nic_backlog.clear();
     s.nic_free = SimTime::zero();
+    s.nic_inflight = 0;
     s.outstanding_handshakes = 0;
     s.deferred.clear();
   }
@@ -40,17 +52,25 @@ void Transport::reconfigure(const net::FabricProfile& fabric,
   rdv_free_.clear();
 #if IW_AUDIT_ENABLED
   rdv_live_.clear();
+  nic_inflight_total_ = 0;
+  nic_backlog_total_ = 0;
+  credits_outstanding_ = 0;
 #endif
 
   // Backlog accounting exists only to drive the finite-buffer fallback;
   // under the default infinite capacity the steady-state path skips it
-  // entirely (no table, no per-message arithmetic).
-  track_backlog_ = options_.eager_buffer_capacity !=
+  // entirely (no table, no per-message arithmetic). Same for credits.
+  track_backlog_ = config_.eager.buffer_capacity !=
                    std::numeric_limits<std::int64_t>::max();
   if (track_backlog_) {
     eager_backlog_.assign(nranks_ * nranks_, 0);
   } else {
     eager_backlog_.clear();
+  }
+  if (track_credits_) {
+    eager_credits_.assign(nranks_ * nranks_, 0);
+  } else {
+    eager_credits_.clear();
   }
 
   procs_ = nullptr;
@@ -63,6 +83,9 @@ void Transport::reconfigure(const net::FabricProfile& fabric,
   // pool accounting must balance back to zero in-flight records.
   IW_ASSERT(pool_stats().rdv_in_flight == 0,
             "reconfigure() left rendezvous records in flight");
+  IW_ASSERT(pool_stats().nic_backlog_depth == 0 &&
+                pool_stats().nic_inflight == 0,
+            "reconfigure() left NIC budget state behind");
   IW_AUDIT(audit());
 }
 
@@ -83,9 +106,12 @@ void Transport::set_memory_domains(
 Transport::PoolStats Transport::pool_stats() const {
   PoolStats p;
   p.allocations = pool_allocations_;
-  for (const RankState& s : ranks_)
+  for (const RankState& s : ranks_) {
     p.allocations += s.posted_recvs.grows() + s.unexpected_eager.grows() +
-                     s.unexpected_rts.grows();
+                     s.unexpected_rts.grows() + s.nic_backlog.grows();
+    p.nic_backlog_depth += s.nic_backlog.size();
+    p.nic_inflight += static_cast<std::size_t>(s.nic_inflight);
+  }
   p.rdv_slab_capacity = rdv_slab_.capacity();
   p.rdv_in_flight = rdv_slab_.size() - rdv_free_.size();
   return p;
@@ -134,23 +160,67 @@ void Transport::audit() const {
             "rendezvous accounting broken: live + free != slab extent");
   IW_ASSERT(pool_stats().rdv_in_flight == live,
             "pool_stats in-flight count disagrees with the liveness shadow");
+  std::int64_t inflight_sum = 0;
+  std::int64_t backlog_sum = 0;
   for (const RankState& s : ranks_) {
     s.posted_recvs.audit();
     s.unexpected_eager.audit();
     s.unexpected_rts.audit();
+    s.nic_backlog.audit();
     IW_ASSERT(s.outstanding_handshakes >= 0,
               "negative outstanding handshake count");
     for (const std::uint32_t slot : s.deferred)
       assert_rdv_live(slot, "deferred push list");
     for (std::size_t i = 0; i < s.unexpected_rts.size(); ++i)
       assert_rdv_live(s.unexpected_rts[i].slot, "unexpected RTS queue");
+    // NIC budget bounds: in-flight injections stay inside [0, depth], and
+    // budget state exists only under a finite-injection configuration.
+    IW_ASSERT(s.nic_inflight >= 0, "negative in-flight injection count");
+    if (nic_limited_) {
+      IW_ASSERT(s.nic_inflight <= nic_depth_,
+                "in-flight injections exceed the NIC budget");
+      IW_ASSERT(nic_backlog_cap_ == 0 ||
+                    s.nic_backlog.size() <=
+                        static_cast<std::size_t>(nic_backlog_cap_),
+                "NIC retry backlog exceeds its configured capacity");
+    } else {
+      IW_ASSERT(s.nic_inflight == 0 && s.nic_backlog.empty(),
+                "NIC budget state on an unbounded-injection transport");
+    }
+    for (std::size_t i = 0; i < s.nic_backlog.size(); ++i) {
+      const BacklogEntry& e = s.nic_backlog[i];
+      if (e.kind == BacklogEntry::Kind::rts)
+        assert_rdv_live(e.slot, "NIC retry backlog");
+    }
+    inflight_sum += s.nic_inflight;
+    backlog_sum += static_cast<std::int64_t>(s.nic_backlog.size());
+  }
+  // Shadow-total reconciliation: the incrementally-maintained totals must
+  // agree with a fresh walk of the structures — a mismatch means a
+  // transaction site missed its increment or decrement.
+  IW_ASSERT(inflight_sum == nic_inflight_total_,
+            "in-flight injection total disagrees with its shadow counter");
+  IW_ASSERT(backlog_sum == nic_backlog_total_,
+            "NIC backlog total disagrees with its shadow counter");
+  if (track_credits_) {
+    std::int64_t credit_sum = 0;
+    for (const int c : eager_credits_) {
+      IW_ASSERT(c >= 0 && c <= credit_window_,
+                "per-pair eager credit count outside [0, window]");
+      credit_sum += c;
+    }
+    IW_ASSERT(credit_sum == credits_outstanding_,
+              "outstanding eager credits disagree with their shadow counter");
+  } else {
+    IW_ASSERT(credits_outstanding_ == 0,
+              "credit shadow counter moved with credits disabled");
   }
 #endif
 }
 
 void Transport::transfer(net::LinkClass cls, int src, int dst,
                          std::int64_t bytes, sim::EventFn on_injected,
-                         sim::EventFn on_arrival) {
+                         sim::EventFn on_arrival, bool counted) {
   const bool same_node = cls == net::LinkClass::intra_socket ||
                          cls == net::LinkClass::inter_socket;
   memory::BandwidthDomain* src_domain = same_node ? domain_of(src) : nullptr;
@@ -158,18 +228,22 @@ void Transport::transfer(net::LinkClass cls, int src, int dst,
   if (src_domain == nullptr) {
     // NIC path: serialize on the sender's NIC, arrive after the latency.
     // An empty on_injected (eager sends complete locally, before the
-    // transfer) schedules nothing.
+    // transfer) or on_arrival (one-sided puts complete the receiver via
+    // the FIN instead) schedules nothing.
     const net::LinkParams& p = fabric_.params(cls);
-    const SimTime arrival = inject(p, src, bytes);
+    const SimTime arrival =
+        counted ? inject_counted(p, src, bytes) : inject(p, src, bytes);
     if (on_injected) engine_.at(arrival - p.latency, std::move(on_injected));
-    engine_.at(arrival, std::move(on_arrival));
+    if (on_arrival) engine_.at(arrival, std::move(on_arrival));
     return;
   }
 
   // Memory path: source-side buffer copy, then destination-side copy-out,
   // each drawing on the owning socket's memory bandwidth (they contend with
   // computation — the effect the Eq. 1 model ignores). The arrival
-  // continuation is moved stage to stage, not shared.
+  // continuation is moved stage to stage, not shared. One-sided puts pass
+  // an empty arrival: the copy-out still charges the destination socket's
+  // bandwidth, it just has nothing to run afterwards.
   memory::BandwidthDomain* dst_domain = domain_of(dst);
   const Duration latency = fabric_.params(cls).latency;
   src_domain->submit(
@@ -180,8 +254,9 @@ void Transport::transfer(net::LinkClass cls, int src, int dst,
         engine_.after(latency, [bytes, dst_domain,
                                 arrival = std::move(arrival)]() mutable {
           if (dst_domain != nullptr) {
-            dst_domain->submit(bytes, std::move(arrival));
-          } else {
+            dst_domain->submit(bytes, arrival ? std::move(arrival)
+                                              : sim::EventFn([] {}));
+          } else if (arrival) {
             arrival();
           }
         });
@@ -195,12 +270,16 @@ const net::LinkParams& Transport::link(int a, int b) const {
 WireProtocol Transport::protocol_for(int src, int dst,
                                      std::int64_t bytes) const {
   if (bytes > eager_limit_) return WireProtocol::rendezvous;
-  if (track_backlog_) {
-    // Public entry point: the flat table needs the bounds check the old
+  if (track_backlog_ || track_credits_) {
+    // Public entry point: the flat tables need the bounds check the old
     // map lookup never did (post_send re-checks, but callers like
     // Cluster::message_time reach here directly).
     check_ranks(src, dst);
-    if (eager_backlog(src, dst) + bytes > options_.eager_buffer_capacity)
+    if (track_backlog_ &&
+        eager_backlog(src, dst) + bytes > config_.eager.buffer_capacity)
+      return WireProtocol::rendezvous;
+    if (track_credits_ &&
+        eager_credits_[backlog_index(src, dst)] >= credit_window_)
       return WireProtocol::rendezvous;
   }
   return WireProtocol::eager;
@@ -215,8 +294,26 @@ Duration Transport::eager_transfer_time(int src, int dst,
 Duration Transport::rendezvous_transfer_time(int src, int dst,
                                              std::int64_t bytes) const {
   const auto& p = link(src, dst);
-  // RTS (gap + latency) + CTS (gap + latency) + data, plus endpoint
-  // overheads on the payload.
+  // Handshake: RTS (gap + latency) + CTS/RTR-or-GET (gap + latency) — two
+  // control messages in every flavor. The payload leg then differs:
+  switch (flavor_) {
+    case RendezvousFlavor::rdma_put:
+      // One-sided put followed by the FIN control message that completes
+      // the receiver: the FIN is injected behind the payload (gap) and its
+      // arrival supersedes the payload's own wire latency. No receive-side
+      // CPU overhead.
+      return p.overhead + (p.gap + p.control_time()) * 2 + p.gap +
+             p.payload_time(bytes) + p.gap + p.control_time();
+    case RendezvousFlavor::rdma_get:
+      // The source NIC streams the payload; the receiver completes at
+      // arrival with no CPU overhead (the trailing FIN only retires the
+      // sender's buffer and is off the critical path).
+      return p.overhead + (p.gap + p.control_time()) * 2 + p.gap +
+             p.transfer_time(bytes);
+    case RendezvousFlavor::two_sided:
+      break;
+  }
+  // Two-sided: data push plus endpoint overheads on the payload.
   return p.overhead + (p.gap + p.control_time()) * 2 + p.gap +
          p.transfer_time(bytes) + p.overhead;
 }
@@ -232,6 +329,66 @@ SimTime Transport::inject(const net::LinkParams& p, int src,
   }
   s.nic_free = start + busy;
   return s.nic_free + p.latency;
+}
+
+SimTime Transport::inject_counted(const net::LinkParams& p, int src,
+                                  std::int64_t payload_bytes) {
+  const SimTime arrival = inject(p, src, payload_bytes);
+  if (nic_limited_) {
+    RankState& s = state(src);
+    IW_ASSERT(s.nic_inflight < nic_depth_,
+              "counted injection posted past the NIC budget");
+    ++s.nic_inflight;
+    IW_AUDIT(++nic_inflight_total_);
+    // The budget slot frees when the NIC finishes serializing this message
+    // (injection end = arrival - latency = the rank's new nic_free).
+    engine_.at(s.nic_free, [this, src] { on_nic_drain(src); });
+  }
+  return arrival;
+}
+
+void Transport::backlog_push(int src, BacklogEntry entry) {
+  RankState& s = state(src);
+  IW_CHECK(nic_backlog_cap_ == 0 ||
+               s.nic_backlog.size() <
+                   static_cast<std::size_t>(nic_backlog_cap_),
+           "NIC retry backlog overflow at rank " + std::to_string(src) +
+               ": raise NicModel.backlog_capacity (or injection_depth), or "
+               "throttle the workload");
+  ++stats_.nic_backlogged;
+  IW_AUDIT(++nic_backlog_total_);
+  s.nic_backlog.push_back(entry);
+}
+
+void Transport::on_nic_drain(int src) {
+  RankState& s = state(src);
+  IW_ASSERT(s.nic_inflight > 0, "NIC drain without an in-flight injection");
+  --s.nic_inflight;
+  IW_AUDIT(--nic_inflight_total_);
+
+  // Dispatch backlogged sends in FIFO order while budget remains. Each
+  // dispatch is itself a counted injection, so a depth-1 NIC re-posts
+  // exactly one entry per drain.
+  while (!s.nic_backlog.empty() && s.nic_inflight < nic_depth_) {
+    const BacklogEntry entry = s.nic_backlog.front();
+    s.nic_backlog.pop_front();
+    IW_AUDIT(--nic_backlog_total_);
+    if (entry.kind == BacklogEntry::Kind::eager) {
+      const net::LinkClass cls =
+          topo_.classify(entry.envelope.src, entry.envelope.dst);
+      // The deferred local completion: the sender is charged its overhead
+      // only now, when the message actually reaches the NIC — the coupling
+      // that distinguishes a finite-injection NIC from the ideal one.
+      const Duration overhead =
+          send_eager(cls, entry.envelope.src, entry.envelope.dst,
+                     entry.envelope.tag, entry.envelope.bytes);
+      complete(src, entry.request, overhead);
+    } else {
+      assert_rdv_live(entry.slot, "NIC backlog drain");
+      const Envelope& env = rdv_slab_[entry.slot].envelope;
+      send_rts(topo_.classify(env.src, env.dst), entry.slot);
+    }
+  }
 }
 
 void Transport::deliver(int rank, RequestId request) {
@@ -258,25 +415,57 @@ std::optional<Duration> Transport::post_send(int src, int dst, int tag,
   IW_REQUIRE(src != dst, "self-sends are not modeled");
   check_ranks(src, dst);
   const net::LinkClass cls = topo_.classify(src, dst);
-  if (protocol_for(src, dst, bytes) == WireProtocol::eager)
+
+  // Protocol decision, with the dynamic fallbacks split out so each gets
+  // its own counter (same order as protocol_for, which must stay in step).
+  const bool eager_sized = bytes <= eager_limit_;
+  bool buffer_full = false;
+  bool no_credit = false;
+  if (eager_sized) {
+    if (track_backlog_ &&
+        eager_backlog(src, dst) + bytes > config_.eager.buffer_capacity) {
+      buffer_full = true;
+    } else if (track_credits_ &&
+               eager_credits_[backlog_index(src, dst)] >= credit_window_) {
+      no_credit = true;
+    }
+  }
+
+  if (eager_sized && !buffer_full && !no_credit) {
+    // Protocol accounting is charged at post time (the decision point), so
+    // a NIC-backlogged send influences later protocol decisions exactly
+    // like an injected one and the drain path never double-counts.
+    ++stats_.eager_sends;
+    if (track_backlog_) eager_backlog_[backlog_index(src, dst)] += bytes;
+    if (track_credits_) {
+      ++eager_credits_[backlog_index(src, dst)];
+      IW_AUDIT(++credits_outstanding_);
+    }
+    if (nic_limited_ && nic_path(cls, src) && nic_saturated(state(src))) {
+      backlog_push(src, BacklogEntry{BacklogEntry::Kind::eager,
+                                     Envelope{src, dst, tag, bytes}, request,
+                                     0});
+      return std::nullopt;  // completes through the wiring at drain time
+    }
     return send_eager(cls, src, dst, tag, bytes);
-  if (bytes <= eager_limit_) ++stats_.eager_fallbacks;
+  }
+
+  if (buffer_full) ++stats_.eager_fallbacks;
+  if (no_credit) ++stats_.credit_stalls;
   send_rendezvous(cls, src, dst, tag, bytes, request);
   return std::nullopt;
 }
 
 Duration Transport::send_eager(net::LinkClass cls, int src, int dst, int tag,
                                std::int64_t bytes) {
-  ++stats_.eager_sends;
-  if (track_backlog_) eager_backlog_[backlog_index(src, dst)] += bytes;
-
   const Duration overhead = fabric_.params(cls).overhead;
   const Envelope envelope{src, dst, tag, bytes};
   // The arrival closure carries the link overhead, so a matched arrival
-  // never re-classifies the link.
-  transfer(cls, src, dst, bytes, nullptr, [this, envelope, overhead] {
-    on_eager_arrival(envelope, overhead);
-  });
+  // never re-classifies the link. The injection is counted against the
+  // finite NIC budget (a no-op on the memory path and the ideal NIC).
+  transfer(cls, src, dst, bytes, nullptr,
+           [this, envelope, overhead] { on_eager_arrival(envelope, overhead); },
+           /*counted=*/nic_limited_);
   // Local completion: buffering costs only the per-message overhead. The
   // caller folds this into its own wait accounting — no completion event.
   return overhead;
@@ -291,6 +480,7 @@ void Transport::on_eager_arrival(const Envelope& envelope, Duration overhead) {
     if (track_backlog_)
       eager_backlog_[backlog_index(envelope.src, envelope.dst)] -=
           envelope.bytes;
+    if (track_credits_) return_credit(envelope.src, envelope.dst);
     q.erase(i);
     return;
   }
@@ -305,7 +495,22 @@ void Transport::send_rendezvous(net::LinkClass cls, int src, int dst, int tag,
   rdv_slab_[slot] = RdvSend{Envelope{src, dst, tag, bytes}, request, -1};
   ++state(src).outstanding_handshakes;
 
-  const SimTime rts_arrival = inject(fabric_.params(cls), src, 0);
+  // The RTS is a sender-initiated injection, so it is subject to the
+  // finite NIC budget (control messages always use the NIC path).
+  if (nic_limited_ && nic_saturated(state(src))) {
+    backlog_push(src, BacklogEntry{BacklogEntry::Kind::rts, Envelope{},
+                                   -1, slot});
+    return;
+  }
+  send_rts(cls, slot);
+}
+
+void Transport::send_rts(net::LinkClass cls, std::uint32_t slot) {
+  assert_rdv_live(slot, "send_rts");
+  const int src = rdv_slab_[slot].envelope.src;
+  const SimTime rts_arrival = nic_limited_
+                                  ? inject_counted(fabric_.params(cls), src, 0)
+                                  : inject(fabric_.params(cls), src, 0);
   engine_.at(rts_arrival, [this, slot] { on_rts_arrival(slot); });
 }
 
@@ -318,7 +523,11 @@ void Transport::on_rts_arrival(std::uint32_t slot) {
     if (!envelope.matches(q[i].src, q[i].tag)) continue;
     const RequestId recv_request = q[i].request;
     q.erase(i);
-    issue_cts(slot, recv_request);
+    if (flavor_ == RendezvousFlavor::rdma_get) {
+      issue_get(slot, recv_request);
+    } else {
+      issue_cts(slot, recv_request);
+    }
     return;
   }
   ++stats_.unexpected_rts;
@@ -329,7 +538,10 @@ void Transport::issue_cts(std::uint32_t slot, RequestId recv_request) {
   assert_rdv_live(slot, "issue_cts");
   RdvSend& send = rdv_slab_[slot];
   send.recv_request = recv_request;
-  // The CTS travels dst -> src; the link class is symmetric.
+  // The CTS travels dst -> src; the link class is symmetric. Under
+  // rdma_put this same control message is the RTR carrying the target
+  // address and remote key. Protocol responses ride reserved slots and are
+  // exempt from the injection budget.
   const SimTime cts_arrival =
       inject(link(send.envelope.dst, send.envelope.src), send.envelope.dst, 0);
   engine_.at(cts_arrival, [this, slot] { on_cts_arrival(slot); });
@@ -342,8 +554,15 @@ void Transport::on_cts_arrival(std::uint32_t slot) {
             "CTS without an outstanding handshake");
   --s.outstanding_handshakes;
 
+  if (flavor_ == RendezvousFlavor::rdma_put) {
+    // One-sided write: the NIC executes the put as soon as the RTR lands —
+    // it is never held behind the sender's other handshakes.
+    put_data(slot);
+    return;
+  }
+
   const bool must_defer =
-      options_.pipelining == RendezvousPipelining::deferred_push &&
+      config_.rendezvous.pipelining == RendezvousPipelining::deferred_push &&
       s.outstanding_handshakes > 0;
   if (must_defer) {
     ++stats_.deferred_pushes;
@@ -386,6 +605,77 @@ void Transport::push_data(std::uint32_t slot) {
            });
 }
 
+void Transport::put_data(std::uint32_t slot) {
+  assert_rdv_live(slot, "put_data");
+  const RdvSend send = rdv_slab_[slot];
+  release_rdv(slot);
+  IW_ASSERT(send.recv_request >= 0, "one-sided put before the RTR matched");
+  ++stats_.rdma_puts;
+
+  const int src = send.envelope.src;
+  const int dst = send.envelope.dst;
+  const RequestId send_request = send.send_request;
+  const RequestId recv_request = send.recv_request;
+  const net::LinkClass cls = topo_.classify(src, dst);
+  // One-sided put: the payload lands straight in the receive buffer (no
+  // arrival continuation, no receive-side overhead). The sender completes
+  // at hand-off and chases the payload with a FIN control message — the
+  // FIN's arrival is what completes the receiver.
+  transfer(cls, src, dst, send.envelope.bytes,
+           [this, src, dst, send_request, recv_request, cls] {
+             complete(src, send_request, Duration::zero());
+             const SimTime fin_arrival =
+                 inject(fabric_.params(cls), src, 0);
+             engine_.at(fin_arrival, [this, dst, recv_request] {
+               complete(dst, recv_request, Duration::zero());
+             });
+           },
+           /*on_arrival=*/nullptr);
+}
+
+void Transport::issue_get(std::uint32_t slot, RequestId recv_request) {
+  assert_rdv_live(slot, "issue_get");
+  RdvSend& send = rdv_slab_[slot];
+  send.recv_request = recv_request;
+  // The GET request travels dst -> src carrying the rkey the RTS
+  // advertised; like the CTS it is a budget-exempt protocol response.
+  const SimTime get_arrival =
+      inject(link(send.envelope.dst, send.envelope.src), send.envelope.dst, 0);
+  engine_.at(get_arrival, [this, slot] { on_get_arrival(slot); });
+}
+
+void Transport::on_get_arrival(std::uint32_t slot) {
+  assert_rdv_live(slot, "on_get_arrival");
+  const RdvSend send = rdv_slab_[slot];
+  release_rdv(slot);
+  IW_ASSERT(send.recv_request >= 0, "one-sided get before the RTS matched");
+  ++stats_.rdma_gets;
+
+  RankState& s = state(send.envelope.src);
+  IW_ASSERT(s.outstanding_handshakes > 0,
+            "GET request without an outstanding handshake");
+  --s.outstanding_handshakes;
+
+  const int src = send.envelope.src;
+  const int dst = send.envelope.dst;
+  const RequestId send_request = send.send_request;
+  const RequestId recv_request = send.recv_request;
+  const net::LinkClass cls = topo_.classify(src, dst);
+  // The source NIC streams the payload back without CPU involvement: the
+  // receiver completes at arrival (no overhead) and returns a FIN that
+  // retires the sender's buffer.
+  transfer(cls, src, dst, send.envelope.bytes,
+           /*on_injected=*/nullptr,
+           [this, src, dst, send_request, recv_request, cls] {
+             complete(dst, recv_request, Duration::zero());
+             const SimTime fin_arrival =
+                 inject(fabric_.params(cls), dst, 0);
+             engine_.at(fin_arrival, [this, src, send_request] {
+               complete(src, send_request, Duration::zero());
+             });
+           });
+}
+
 void Transport::post_recv(int dst, int src, int tag, std::int64_t bytes,
                           RequestId request) {
   IW_REQUIRE(src != dst, "self-receives are not modeled");
@@ -400,6 +690,7 @@ void Transport::post_recv(int dst, int src, int tag, std::int64_t bytes,
     complete(dst, request, p.overhead);
     if (track_backlog_)
       eager_backlog_[backlog_index(src, dst)] -= ue[i].bytes;
+    if (track_credits_) return_credit(src, dst);
     ue.erase(i);
     return;
   }
@@ -410,7 +701,11 @@ void Transport::post_recv(int dst, int src, int tag, std::int64_t bytes,
     if (!ur[i].envelope.matches(src, tag)) continue;
     const std::uint32_t slot = ur[i].slot;
     ur.erase(i);
-    issue_cts(slot, request);
+    if (flavor_ == RendezvousFlavor::rdma_get) {
+      issue_get(slot, request);
+    } else {
+      issue_cts(slot, request);
+    }
     return;
   }
 

@@ -14,28 +14,57 @@
 // posted. An optional finite per-destination buffer makes over-limit eager
 // sends fall back to rendezvous, modeling the footnote in the paper
 // ("a limit to the internal buffers ... handled like a transition to a
-// rendezvous protocol").
+// rendezvous protocol"); an optional per-endpoint credit window
+// (EagerPolicy::credit_window) does the same per *message count*, returning
+// credits when the receiver drains the message.
 //
 // Rendezvous protocol (bytes > eager limit): RTS control message to the
 // receiver; when the RTS has arrived *and* a matching receive is posted, the
-// receiver returns a CTS; on CTS arrival the sender pushes the payload. The
-// sender's request completes when the payload has been fully injected, the
-// receiver's when it has fully arrived. Data pushes are subject to the
-// RendezvousPipelining semantic (see message.hpp) — the deferred_push rule
-// is what makes bidirectional rendezvous waves travel at sigma = 2.
+// payload moves under the configured RendezvousFlavor:
+//   * two_sided — the receiver returns a CTS; on CTS arrival the sender
+//     pushes the payload; the receiver's CPU completes the message (charged
+//     `o`). Pushes are subject to the RendezvousPipelining semantic
+//     (message.hpp) — the deferred_push rule is what makes bidirectional
+//     rendezvous waves travel at sigma = 2.
+//   * rdma_put — the CTS doubles as an RTR carrying the target address and
+//     remote key; the sender's NIC puts the payload one-sidedly and chases
+//     it with a FIN control message, whose arrival — not the payload's —
+//     completes the receiver, with no receive-side CPU overhead.
+//   * rdma_get — the RTS carries the source buffer's key; the receiver
+//     injects a GET request, the source NIC streams the payload back
+//     without CPU involvement (receiver completes at arrival, no `o`), and
+//     a FIN from the receiver retires the sender's buffer.
+// One-sided puts/gets are executed by the NIC and are never held behind the
+// sender's other handshakes (deferred_push applies to two_sided only).
+//
+// Finite-injection NIC (NicModel::injection_depth > 0): each rank may have
+// at most `depth` in-flight injections (posted sends whose NIC
+// serialization has not finished). post_send beyond the budget lands in a
+// per-rank retry backlog (LCI's bounded-queue-sends shape: push if the
+// backlog is non-empty OR the budget is full, preserving FIFO) and is
+// dispatched as earlier injections complete. A backlogged eager send does
+// NOT complete locally at post time — its local completion (the overhead
+// `o`) is charged when the entry actually reaches the NIC, which is what
+// couples eager senders to NIC drain under load. Budgeted operations are
+// the sender-initiated ones (eager payloads and RTS); protocol responses
+// (CTS, GET requests, FINs, handshake-complete payload pushes) ride
+// reserved response slots and bypass the budget, so the protocol can always
+// make progress. Intra-node sends routed through memory domains never touch
+// the NIC and are exempt as well.
 //
 // Hot-path layout: the steady-state send/receive path performs no hash
 // lookup, no heap allocation, and no type-erased dispatch.
 //   * In-flight rendezvous records live in a free-list-backed slab; the
 //     slot index rides inside the RTS/CTS event closures (the simulated
 //     control-message envelope), so every protocol step is one array index.
-//   * Per-endpoint matching queues are RingQueues over pooled storage that
-//     is retained across runs (see reconfigure()).
-//   * Eager-backlog accounting uses a flat (src, dst) table sized from the
-//     Topology — and is skipped entirely under the default infinite buffer
-//     capacity, where the fallback can never trigger. (The table is
-//     ranks^2 entries; finite-buffer ablations at several thousand ranks
-//     pay that footprint knowingly.)
+//   * Per-endpoint matching queues and the NIC retry backlog are RingQueues
+//     over pooled storage that is retained across runs (see reconfigure()).
+//   * Eager-backlog and credit accounting use flat (src, dst) tables sized
+//     from the Topology — and are skipped entirely under the default
+//     infinite capacity / unlimited credits, where the fallbacks can never
+//     trigger. (Each table is ranks^2 entries; finite-buffer ablations at
+//     several thousand ranks pay that footprint knowingly.) Likewise the
+//     default unbounded NIC (injection_depth 0) skips all budget machinery.
 //   * Request completions and memory-domain lookups route through
 //     rank-indexed pointer tables (Process* / BandwidthDomain*) owned by
 //     the Cluster instead of std::function callbacks.
@@ -45,13 +74,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <limits>
 #include <optional>
 #include <vector>
 
 #include "memory/bandwidth_domain.hpp"
 #include "mpi/message.hpp"
 #include "mpi/request.hpp"
+#include "mpi/transport_config.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
@@ -64,23 +93,16 @@ class Process;
 
 class Transport {
  public:
-  struct Options {
-    RendezvousPipelining pipelining = RendezvousPipelining::deferred_push;
-    /// Max eager payload bytes in flight (sent but not yet matched) per
-    /// (source, destination) pair; further eager sends fall back to
-    /// rendezvous until the backlog drains.
-    std::int64_t eager_buffer_capacity =
-        std::numeric_limits<std::int64_t>::max();
-    /// Overrides the fabric's eager/rendezvous threshold if non-negative.
-    std::int64_t eager_limit_override = -1;
-  };
-
   /// Counters for tests/ablations.
   struct Stats {
     std::uint64_t eager_sends = 0;
     std::uint64_t rendezvous_sends = 0;
     std::uint64_t eager_fallbacks = 0;   ///< eager-sized but buffer-full
+    std::uint64_t credit_stalls = 0;     ///< eager-sized but out of credits
+    std::uint64_t nic_backlogged = 0;    ///< posts that hit the retry backlog
     std::uint64_t deferred_pushes = 0;   ///< data pushes held by the rule
+    std::uint64_t rdma_puts = 0;         ///< one-sided put payload transfers
+    std::uint64_t rdma_gets = 0;         ///< one-sided get payload transfers
     std::uint64_t unexpected_eager = 0;  ///< eager arrivals before the recv
     std::uint64_t unexpected_rts = 0;    ///< RTS arrivals before the recv
   };
@@ -92,12 +114,14 @@ class Transport {
     std::uint64_t allocations = 0;    ///< total pool-growth (heap) events
     std::size_t rdv_slab_capacity = 0;
     std::size_t rdv_in_flight = 0;    ///< live rendezvous records
+    std::size_t nic_backlog_depth = 0;  ///< entries waiting across all ranks
+    std::size_t nic_inflight = 0;       ///< budgeted injections in flight
   };
 
   using CompletionFn = std::function<void(int rank, RequestId request)>;
 
   Transport(sim::Engine& engine, const net::Topology& topo,
-            const net::FabricProfile& fabric, Options options);
+            const net::FabricProfile& fabric, const TransportConfig& config);
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -125,11 +149,12 @@ class Transport {
   void set_memory_domains(const std::vector<memory::BandwidthDomain*>& by_rank);
 
   /// Re-arms the transport for another run after the owning cluster reshaped
-  /// its topology/fabric/options: protocol state and wiring are cleared, but
-  /// every pool (rank queues, rendezvous slab, backlog table) keeps its
+  /// its topology/fabric/config: protocol state and wiring are cleared, but
+  /// every pool (rank queues, rendezvous slab, backlog tables) keeps its
   /// storage. Rank-state vectors are resized to the topology's current rank
-  /// count. Must be paired with an Engine::reset().
-  void reconfigure(const net::FabricProfile& fabric, Options options);
+  /// count. Validates the config. Must be paired with an Engine::reset().
+  void reconfigure(const net::FabricProfile& fabric,
+                   const TransportConfig& config);
 
   /// Nonblocking send of `bytes` from `src` to `dst`.
   ///
@@ -138,8 +163,8 @@ class Transport {
   /// so instead of scheduling a completion event the call returns that
   /// local-completion delay and the caller owns it (Process folds it into
   /// its WaitAll accounting; harnesses schedule their own event). Returns
-  /// nullopt for rendezvous sends, whose completion is event-driven and
-  /// arrives through the completion wiring.
+  /// nullopt for rendezvous sends and NIC-backlogged sends, whose
+  /// completion is event-driven and arrives through the completion wiring.
   std::optional<Duration> post_send(int src, int dst, int tag,
                                     std::int64_t bytes, RequestId request);
 
@@ -147,28 +172,33 @@ class Transport {
   void post_recv(int dst, int src, int tag, std::int64_t bytes,
                  RequestId request);
 
-  /// Protocol a send of this size would use right now (includes the
-  /// finite-buffer fallback decision).
+  /// Protocol a send of this size would use right now (the static size rule
+  /// plus the dynamic finite-buffer and credit-exhaustion fallbacks).
   [[nodiscard]] WireProtocol protocol_for(int src, int dst,
                                           std::int64_t bytes) const;
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::int64_t eager_limit() const { return eager_limit_; }
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
   [[nodiscard]] PoolStats pool_stats() const;
 
   /// Structural audit of the protocol pools (audit builds only; a no-op
   /// otherwise): rendezvous free-list integrity (on-slab, no double-free),
   /// slot-liveness reconciliation against pool_stats() (live records ==
-  /// slab extent - free list), deferred-push lists referencing only live
-  /// slots, and per-rank queue canaries. reconfigure() runs it on entry —
-  /// so every sweep-point recycle re-proves the pools — and again after
-  /// clearing, when no record may remain live.
+  /// slab extent - free list), deferred-push lists and backlogged RTS
+  /// entries referencing only live slots, per-rank queue canaries, NIC
+  /// budget bounds (0 <= nic_inflight <= injection_depth) with shadow-total
+  /// reconciliation of in-flight injections, backlog depth, and outstanding
+  /// eager credits. reconfigure() runs it on entry — so every sweep-point
+  /// recycle re-proves the pools — and again after clearing, when no record
+  /// may remain live.
   void audit() const;
 
   /// End-to-end duration between posting a send and the matching receive
   /// completing, for a message posted into an otherwise idle transport with
   /// the receive pre-posted. This is the `Tcomm` that enters the analytic
-  /// speed model (Eq. 2) for eager traffic; rendezvous adds the handshake.
+  /// speed model (Eq. 2) for eager traffic; rendezvous adds the handshake
+  /// and depends on the configured RendezvousFlavor.
   [[nodiscard]] Duration eager_transfer_time(int src, int dst,
                                              std::int64_t bytes) const;
   [[nodiscard]] Duration rendezvous_transfer_time(int src, int dst,
@@ -195,11 +225,25 @@ class Transport {
     Envelope envelope;
   };
 
+  /// One send waiting in the NIC retry backlog. Eager entries carry their
+  /// envelope and the local request to complete at drain time; rendezvous
+  /// entries are just the slab slot of the already-acquired record (the RTS
+  /// is re-posted from the slab when the entry drains).
+  struct BacklogEntry {
+    enum class Kind : std::uint8_t { eager, rts };
+    Kind kind = Kind::eager;
+    Envelope envelope;
+    RequestId request = -1;     ///< eager only: local completion at drain
+    std::uint32_t slot = 0;     ///< rts only
+  };
+
   struct RankState {
     RingQueue<PostedRecv> posted_recvs;
     RingQueue<Envelope> unexpected_eager;
     RingQueue<RtsRecord> unexpected_rts;
+    RingQueue<BacklogEntry> nic_backlog;   ///< finite-injection retry queue
     SimTime nic_free = SimTime::zero();
+    int nic_inflight = 0;                  ///< budgeted injections in flight
     int outstanding_handshakes = 0;        ///< RTS sent, CTS not yet received
     std::vector<std::uint32_t> deferred;   ///< handshake-complete, push held
   };
@@ -214,16 +258,44 @@ class Transport {
   /// returns the arrival time at the destination.
   SimTime inject(const net::LinkParams& p, int src, std::int64_t payload_bytes);
 
+  /// inject() plus finite-NIC budget accounting: counts the injection
+  /// against the rank's in-flight budget and schedules the drain event (at
+  /// injection end) that releases it and dispatches backlogged sends.
+  /// Callers on budget-exempt paths use inject() directly.
+  SimTime inject_counted(const net::LinkParams& p, int src,
+                         std::int64_t payload_bytes);
+
+  /// True when a message from `src` over `cls` uses the NIC (as opposed to
+  /// the intra-node memory-copy path) — the condition under which the
+  /// finite-injection budget applies.
+  [[nodiscard]] bool nic_path(net::LinkClass cls, int src) const {
+    const bool same_node = cls == net::LinkClass::intra_socket ||
+                           cls == net::LinkClass::inter_socket;
+    return !(same_node && domain_of(src) != nullptr);
+  }
+
+  /// LCI's bounded-queue rule: a post must queue if anything is already
+  /// queued (FIFO) or the budget is exhausted.
+  [[nodiscard]] bool nic_saturated(const RankState& s) const {
+    return !s.nic_backlog.empty() || s.nic_inflight >= nic_depth_;
+  }
+
+  void backlog_push(int src, BacklogEntry entry);
+  void on_nic_drain(int src);
+
   /// Moves `bytes` of payload from src to dst over the already-classified
   /// link `cls`. `on_injected` (may be empty) fires when the sender has
   /// fully handed the data off (its local completion point for rendezvous
-  /// sends); `on_arrival` fires when the payload is available at the
-  /// destination. Uses the NIC path across nodes and the memory-copy path
-  /// within a node when domains are configured. The continuations are
+  /// sends); `on_arrival` (may be empty for one-sided puts, where the FIN
+  /// completes the receiver instead) fires when the payload is available at
+  /// the destination. Uses the NIC path across nodes and the memory-copy
+  /// path within a node when domains are configured; `counted` charges a
+  /// NIC-path injection against the finite budget. The continuations are
   /// one-shot move-only closures: they travel through the protocol layers
   /// by move, never by copy.
   void transfer(net::LinkClass cls, int src, int dst, std::int64_t bytes,
-                sim::EventFn on_injected, sim::EventFn on_arrival);
+                sim::EventFn on_injected, sim::EventFn on_arrival,
+                bool counted = false);
 
   void check_ranks(int src, int dst) const {
     IW_REQUIRE(src >= 0 && dst >= 0 &&
@@ -233,18 +305,33 @@ class Transport {
   }
 
   /// Returns the sender's local-completion delay (the link overhead); the
-  /// caller owns the request's completion, so no id is taken.
+  /// caller owns the request's completion, so no id is taken. Wire-level
+  /// only: protocol accounting (stats, buffer bytes, credits) is charged by
+  /// post_send at post time, so backlog drains do not double-count.
   Duration send_eager(net::LinkClass cls, int src, int dst, int tag,
                       std::int64_t bytes);
+  /// Acquires a rendezvous record and posts (or backlogs) its RTS.
   void send_rendezvous(net::LinkClass cls, int src, int dst, int tag,
                        std::int64_t bytes, RequestId request);
+  void send_rts(net::LinkClass cls, std::uint32_t slot);
   void on_eager_arrival(const Envelope& envelope, Duration overhead);
   void on_rts_arrival(std::uint32_t slot);
   void issue_cts(std::uint32_t slot, RequestId recv_request);
   void on_cts_arrival(std::uint32_t slot);
   void push_data(std::uint32_t slot);
+  void put_data(std::uint32_t slot);
+  void issue_get(std::uint32_t slot, RequestId recv_request);
+  void on_get_arrival(std::uint32_t slot);
   void complete(int rank, RequestId request, Duration delay);
   void deliver(int rank, RequestId request);
+
+  /// Returns one eager credit for a drained (src -> dst) message.
+  void return_credit(int src, int dst) {
+    IW_ASSERT(eager_credits_[backlog_index(src, dst)] > 0,
+              "eager credit returned that was never taken");
+    --eager_credits_[backlog_index(src, dst)];
+    IW_AUDIT(--credits_outstanding_);
+  }
 
   [[nodiscard]] memory::BandwidthDomain* domain_of(int rank) const {
     return use_domains_ ? domains_by_rank_[static_cast<std::size_t>(rank)]
@@ -268,6 +355,12 @@ class Transport {
   /// index riding in an event closure is this module's nastiest failure
   /// mode) and lets audit() reconcile liveness against the free list.
   std::vector<std::uint8_t> rdv_live_;
+  /// Audit-only shadow totals, maintained incrementally at every
+  /// transaction site; audit() reconciles them against the per-rank / per-
+  /// pair structures, catching a missed increment or decrement.
+  std::int64_t nic_inflight_total_ = 0;
+  std::int64_t nic_backlog_total_ = 0;
+  std::int64_t credits_outstanding_ = 0;
   void assert_rdv_live(std::uint32_t slot, const char* step) const {
     IW_ASSERT(slot < rdv_slab_.size(),
               std::string(step) + ": rendezvous slot off the slab");
@@ -289,9 +382,18 @@ class Transport {
   sim::Engine& engine_;
   const net::Topology& topo_;
   net::FabricProfile fabric_;
-  Options options_;
+  TransportConfig config_;
   std::int64_t eager_limit_ = 0;
   std::size_t nranks_ = 0;
+
+  // Config-derived fast flags: each optional subsystem is gated by one bool
+  // so the ideal configuration pays nothing for the features it disables.
+  bool nic_limited_ = false;   ///< injection_depth > 0
+  int nic_depth_ = 0;
+  int nic_backlog_cap_ = 0;    ///< 0 = unbounded
+  bool track_credits_ = false; ///< credit_window > 0
+  int credit_window_ = 0;
+  RendezvousFlavor flavor_ = RendezvousFlavor::two_sided;
 
   // Rank-indexed wiring (devirtualized callbacks).
   Process* const* procs_ = nullptr;
@@ -305,6 +407,7 @@ class Transport {
   std::vector<std::uint32_t> rdv_free_;
   std::vector<std::int64_t> eager_backlog_;  ///< ranks^2, finite capacity only
   bool track_backlog_ = false;
+  std::vector<int> eager_credits_;  ///< ranks^2, in-flight msgs; credits only
   std::vector<std::uint32_t> deferred_scratch_;  ///< flush staging buffer
   std::uint64_t pool_allocations_ = 0;
 

@@ -1,0 +1,72 @@
+#include "mpi/transport_config.hpp"
+
+#include <stdexcept>
+
+namespace iw::mpi {
+
+namespace {
+[[noreturn]] void reject(const std::string& message) {
+  throw std::invalid_argument("TransportConfig: " + message);
+}
+}  // namespace
+
+void TransportConfig::validate() const {
+  // NicModel. Depth 0 is the ideal unbounded NIC; a bounded backlog without
+  // a bounded injection budget could never fill, so it is almost certainly
+  // a mistaken preset.
+  if (nic.injection_depth < 0)
+    reject("nic.injection_depth must be >= 0 (0 = unbounded ideal NIC), got " +
+           std::to_string(nic.injection_depth));
+  if (nic.backlog_capacity < 0)
+    reject("nic.backlog_capacity must be >= 0 (0 = unbounded backlog), got " +
+           std::to_string(nic.backlog_capacity));
+  if (nic.backlog_capacity > 0 && nic.injection_depth == 0)
+    reject("nic.backlog_capacity is finite but nic.injection_depth is 0 "
+           "(unbounded NIC): the backlog can never be used — set a finite "
+           "injection_depth or leave backlog_capacity at 0");
+
+  // EagerPolicy.
+  if (eager.limit_override < -1)
+    reject("eager.limit_override must be -1 (use the fabric default) or a "
+           "byte count >= 0, got " + std::to_string(eager.limit_override));
+  if (eager.buffer_capacity <= 0)
+    reject("eager.buffer_capacity must be > 0 bytes (use the default "
+           "int64 max for an infinite buffer), got " +
+           std::to_string(eager.buffer_capacity));
+  if (eager.credit_window < 0)
+    reject("eager.credit_window must be >= 0 (0 = unlimited credits), got " +
+           std::to_string(eager.credit_window));
+
+  // RendezvousPolicy. The enums arrive from CLI/catalog parsing — check the
+  // underlying values are in range rather than trusting the cast.
+  switch (rendezvous.flavor) {
+    case RendezvousFlavor::two_sided:
+    case RendezvousFlavor::rdma_put:
+    case RendezvousFlavor::rdma_get:
+      break;
+    default:
+      reject("rendezvous.flavor holds an out-of-range value " +
+             std::to_string(static_cast<int>(rendezvous.flavor)) +
+             " (valid: two_sided, rdma_put, rdma_get)");
+  }
+  switch (rendezvous.pipelining) {
+    case RendezvousPipelining::deferred_push:
+    case RendezvousPipelining::independent:
+      break;
+    default:
+      reject("rendezvous.pipelining holds an out-of-range value " +
+             std::to_string(static_cast<int>(rendezvous.pipelining)) +
+             " (valid: deferred_push, independent)");
+  }
+}
+
+RendezvousFlavor rendezvous_flavor_from_string(const std::string& name) {
+  if (name == "two_sided") return RendezvousFlavor::two_sided;
+  if (name == "rdma_put") return RendezvousFlavor::rdma_put;
+  if (name == "rdma_get") return RendezvousFlavor::rdma_get;
+  throw std::invalid_argument(
+      "unknown rendezvous flavor '" + name +
+      "' (valid: two_sided, rdma_put, rdma_get)");
+}
+
+}  // namespace iw::mpi

@@ -96,19 +96,37 @@ constexpr ColumnDef col(const char* name, ColumnType type,
 constexpr auto kExact = ColumnTolerance::exact;
 constexpr auto kApprox = ColumnTolerance::approx;
 
+/// Schema type of an axis column, from its record representation. Enum
+/// axes serialize as text and get JSON quoting like any other string.
+template <typename T>
+constexpr ColumnType axis_column_type() {
+  using R = axis_record_t<T>;
+  if constexpr (std::is_same_v<R, std::string>) return ColumnType::text;
+  else if constexpr (std::is_same_v<R, double>) return ColumnType::f64;
+  else if constexpr (std::is_same_v<R, std::int64_t>) return ColumnType::i64;
+  else if constexpr (std::is_same_v<R, std::uint64_t>) return ColumnType::u64;
+  else {
+    static_assert(std::is_same_v<R, int>, "unmapped axis record type");
+    return ColumnType::i32;
+  }
+}
+
+template <typename T>
+constexpr bool axis_quoted() {
+  return std::is_same_v<axis_record_t<T>, std::string>;
+}
+
 const std::vector<ColumnDef>& column_table() {
   static const std::vector<ColumnDef> table = {
       col<&SweepRecord::index>("index", ColumnType::u64, kExact),
-      col<&SweepRecord::delay_ms>("delay_ms", ColumnType::f64, kExact),
-      col<&SweepRecord::msg_bytes>("msg_bytes", ColumnType::i64, kExact),
-      col<&SweepRecord::np>("np", ColumnType::i32, kExact),
-      col<&SweepRecord::ppn>("ppn", ColumnType::i32, kExact),
-      col<&SweepRecord::noise_E_percent>("noise_E_percent", ColumnType::f64,
-                                         kExact),
+// Axis columns come straight from the IW_SWEEP_AXES registry, in axis
+// declaration order; all axes are exact-match identity columns.
+#define IW_AXIS_COL(field, Type, flag, column, default_)                 \
+  col<&SweepRecord::field>(column, axis_column_type<Type>(), kExact,     \
+                           axis_quoted<Type>()),
+      IW_SWEEP_AXES(IW_AXIS_COL)
+#undef IW_AXIS_COL
       col<&SweepRecord::workload>("workload", ColumnType::text, kExact, true),
-      col<&SweepRecord::direction>("direction", ColumnType::text, kExact,
-                                   true),
-      col<&SweepRecord::boundary>("boundary", ColumnType::text, kExact, true),
       col<&SweepRecord::seed>("seed", ColumnType::u64, kExact, true),
       col<&SweepRecord::protocol>("protocol", ColumnType::text, kExact, true),
       col<&SweepRecord::v_up_ranks_per_sec>("v_up_ranks_per_sec",
@@ -128,6 +146,8 @@ const std::vector<ColumnDef>& column_table() {
                                           kApprox),
       col<&SweepRecord::cycle_us>("cycle_us", ColumnType::f64, kApprox),
       col<&SweepRecord::makespan_ms>("makespan_ms", ColumnType::f64, kApprox),
+      col<&SweepRecord::eager_demotions>("eager_demotions", ColumnType::u64,
+                                         kExact),
       col<&SweepRecord::events_processed>("events_processed", ColumnType::u64,
                                           kExact),
       col<&SweepRecord::peak_events_pending>("peak_events_pending",
@@ -196,14 +216,11 @@ std::vector<std::string> record_columns() {
 SweepRecord reduce(const SweepPoint& point, const core::WaveResult& result) {
   SweepRecord rec;
   rec.index = point.index;
-  rec.delay_ms = point.delay_ms;
-  rec.msg_bytes = point.msg_bytes;
-  rec.np = point.np;
-  rec.ppn = point.ppn;
-  rec.noise_E_percent = point.noise_E_percent;
+#define IW_AXIS_REDUCE(field, Type, flag, column, default_) \
+  rec.field = AxisValue<Type>::to_record(point.field);
+  IW_SWEEP_AXES(IW_AXIS_REDUCE)
+#undef IW_AXIS_REDUCE
   rec.workload = to_string(point.workload);
-  rec.direction = to_string(point.direction);
-  rec.boundary = to_string(point.boundary);
   rec.seed = point.exp.cluster.seed;
   rec.protocol = result.protocol == mpi::WireProtocol::rendezvous
                      ? "rendezvous"
@@ -218,6 +235,7 @@ SweepRecord reduce(const SweepPoint& point, const core::WaveResult& result) {
   rec.front_rmse_up_us = result.up.front_rmse_us;
   rec.cycle_us = result.measured_cycle.us();
   rec.makespan_ms = result.trace.makespan().ms();
+  rec.eager_demotions = result.eager_demotions;
   rec.events_processed = result.events_processed;
   rec.peak_events_pending = result.peak_events_pending;
   return rec;

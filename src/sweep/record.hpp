@@ -29,16 +29,14 @@ namespace iw::sweep {
 
 /// The flat per-point record: axis values, wave observables, run costs.
 struct SweepRecord {
-  // Identity and axes.
+  // Identity and axes. Axis members are generated from the IW_SWEEP_AXES
+  // registry (sweep/axes.hpp); enum axes store their to_string name.
   std::uint64_t index = 0;
-  double delay_ms = 0.0;
-  std::int64_t msg_bytes = 0;
-  int np = 0;
-  int ppn = 1;
-  double noise_E_percent = 0.0;
+#define IW_AXIS_RECORD_MEMBER(field, Type, flag, column, default_) \
+  axis_record_t<Type> field{};
+  IW_SWEEP_AXES(IW_AXIS_RECORD_MEMBER)
+#undef IW_AXIS_RECORD_MEMBER
   std::string workload;
-  std::string direction;
-  std::string boundary;
   std::uint64_t seed = 0;
   // Observables.
   std::string protocol;
@@ -52,6 +50,9 @@ struct SweepRecord {
   double front_rmse_up_us = 0.0;  ///< RMS front-fit residual [us]
   double cycle_us = 0.0;              ///< measured steady-state cycle
   double makespan_ms = 0.0;
+  /// Eager-sized sends the transport demoted to rendezvous (finite-buffer
+  /// fallbacks + credit stalls); an observable for the flow-control axes.
+  std::uint64_t eager_demotions = 0;
   // Simulation cost (engine counters).
   std::uint64_t events_processed = 0;
   std::uint64_t peak_events_pending = 0;

@@ -54,12 +54,71 @@ Scenario eager_rendezvous_crossover() {
   s.spec.direction = {workload::Direction::unidirectional,
                       workload::Direction::bidirectional};
   s.spec.boundary = {workload::Boundary::open, workload::Boundary::periodic};
+  s.spec.rdv_flavor = {mpi::RendezvousFlavor::two_sided,
+                       mpi::RendezvousFlavor::rdma_put,
+                       mpi::RendezvousFlavor::rdma_get};
   s.spec.np = {16};
   s.spec.steps = 16;
-  // msg (6) x direction (2) x boundary (2): both protocol sides of the
-  // 128 KiB limit, both directions, both boundaries.
-  s.quick_subset = {0, 3, 13, 22};
-  return s;  // 24 points
+  // msg (6) x direction (2) x boundary (2) x flavor (3): both protocol
+  // sides of the 128 KiB limit, both directions, both boundaries, every
+  // rendezvous wire flavor (flavor is the fastest axis). Quick: all three
+  // flavors on the eager side (where they must be no-ops), the two-sided
+  // point at the limit, and all three flavors at 256 KiB bidirectional —
+  // where the flavor changes sigma and the handshake timeline.
+  s.quick_subset = {0, 1, 2, 39, 66, 67, 68};
+  return s;  // 72 points
+}
+
+Scenario nic_injection_sweep() {
+  Scenario s;
+  s.name = "nic_injection_sweep";
+  s.summary =
+      "finite NIC injection budgets slow eager bursts more than rendezvous, "
+      "shifting the protocol crossover toward smaller messages";
+  s.paper_ref = "Sec. III (communication model) extension";
+  s.spec.delay_ms = {15};
+  // One eager and one rendezvous size, under a burst of distance-8 sends
+  // per step — deep enough to saturate every finite budget below.
+  s.spec.msg_bytes = {16384, 262144};
+  s.spec.nic_depth = {0, 8, 2, 1};  // loosest (unlimited) to tightest
+  s.spec.np = {16};
+  s.spec.steps = 16;
+  s.spec.distance = 8;
+  // Seeds differ per point, so system noise would put ~2% of random spread
+  // between ladder rungs — more than the monotone slack. The constraint
+  // trend is only meaningful against a deterministic baseline.
+  s.spec.system_noise = "none";
+  // Backlogged bursts decouple the fitted front from the silent-system
+  // Eq. 2 speed; the constraint trend is the scenario's oracle instead.
+  s.oracle.max_speed_rel_err = 0.6;
+  s.oracle.max_cycle_over_texec = 16.0;
+  s.oracle.constraint_axis = "nic_depth";
+  // Small enough that quick mode keeps every point: the constraint-trend
+  // oracle needs the whole budget ladder for both message sizes.
+  s.quick_subset = {0, 1, 2, 3, 4, 5, 6, 7};
+  return s;  // 8 points (quick = full)
+}
+
+Scenario credit_flow_control() {
+  Scenario s;
+  s.name = "credit_flow_control";
+  s.summary =
+      "exhausted eager credit windows demote bursts to rendezvous; "
+      "rendezvous traffic is untouched";
+  s.paper_ref = "Sec. III (communication model) extension";
+  s.spec.delay_ms = {15};
+  s.spec.msg_bytes = {16384, 262144};
+  s.spec.eager_credits = {0, 8, 2, 1};  // loosest (unlimited) to tightest
+  s.spec.np = {16};
+  s.spec.steps = 16;
+  s.spec.distance = 8;
+  s.spec.system_noise = "none";  // deterministic rungs, as above
+  s.oracle.max_speed_rel_err = 0.6;
+  s.oracle.max_cycle_over_texec = 16.0;
+  s.oracle.constraint_axis = "eager_credits";
+  // Quick keeps the full ladder, same reasoning as nic_injection_sweep.
+  s.quick_subset = {0, 1, 2, 3, 4, 5, 6, 7};
+  return s;  // 8 points (quick = full)
 }
 
 Scenario ppn_contrast() {
@@ -131,8 +190,10 @@ Scenario grid2d_wave() {
 
 const std::vector<Scenario>& scenario_catalog() {
   static const std::vector<Scenario> catalog = {
-      speed_vs_delay(),   decay_vs_size(), eager_rendezvous_crossover(),
-      ppn_contrast(),     noise_damping(), grid2d_wave(),
+      speed_vs_delay(),     decay_vs_size(),
+      eager_rendezvous_crossover(), ppn_contrast(),
+      noise_damping(),      grid2d_wave(),
+      nic_injection_sweep(), credit_flow_control(),
   };
   return catalog;
 }

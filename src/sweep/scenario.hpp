@@ -44,6 +44,22 @@ struct OracleBounds {
   int survival_slack_hops = 2;
   /// Relative slack for the cycle-vs-E monotonicity (median-of-steps jitter).
   double cycle_noise_slack_rel = 0.02;
+  /// When set to a numeric axis column name ("nic_depth", "eager_credits"),
+  /// the protocol-constraint trend is enforced per group of fixed other
+  /// axes. The axis is a resource constraint with 0 = unlimited; tightening
+  /// it (0, then descending positive values) must never *speed the run up*:
+  /// cycle_us is non-decreasing within `constraint_cycle_slack_rel`.
+  std::string constraint_axis;
+  double constraint_cycle_slack_rel = 0.02;
+  /// The crossover-shift direction for `constraint_axis` scenarios: between
+  /// the unconstrained baseline and the tightest setting, the relative
+  /// slowdown of eager-protocol records must be at least the rendezvous
+  /// slowdown minus this slack. Finite injection budgets and credit windows
+  /// defer the eager sender's local completion to NIC drain, while a
+  /// rendezvous sender already waits out its handshake — so the constraint
+  /// must hit eager at least as hard, shifting the protocol crossover
+  /// toward smaller messages.
+  double crossover_shift_slack = 0.05;
 };
 
 struct Scenario {

@@ -1,6 +1,7 @@
 #include "sweep/spec.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "support/error.hpp"
@@ -50,6 +51,12 @@ core::WaveExperiment build_experiment(const SweepSpec& spec,
     exp.cluster = core::cluster_for_ring(ring, pt.ppn <= 1, pt.ppn);
   }
 
+  // Protocol axes land in the transport configuration; Transport::validate
+  // re-checks the combination at construction.
+  exp.cluster.transport.nic.injection_depth = pt.nic_depth;
+  exp.cluster.transport.eager.credit_window = pt.eager_credits;
+  exp.cluster.transport.rendezvous.flavor = pt.rdv_flavor;
+
   if (spec.system_noise != "none")
     exp.cluster.system_noise = noise::NoiseSpec::system(spec.system_noise);
   if (pt.delay_ms > 0.0)
@@ -68,16 +75,19 @@ core::WaveExperiment build_experiment(const SweepSpec& spec,
 }  // namespace
 
 std::size_t SweepSpec::points() const {
-  return delay_ms.size() * msg_bytes.size() * np.size() * ppn.size() *
-         noise_E_percent.size() * direction.size() * boundary.size();
+  std::size_t n = 1;
+#define IW_AXIS_MUL(field, Type, flag, column, default_) n *= field.size();
+  IW_SWEEP_AXES(IW_AXIS_MUL)
+#undef IW_AXIS_MUL
+  return n;
 }
 
 std::vector<SweepPoint> expand(const SweepSpec& spec) {
-  IW_REQUIRE(!spec.delay_ms.empty() && !spec.msg_bytes.empty() &&
-                 !spec.np.empty() && !spec.ppn.empty() &&
-                 !spec.noise_E_percent.empty() && !spec.direction.empty() &&
-                 !spec.boundary.empty(),
-             "every sweep axis needs at least one value");
+#define IW_AXIS_NONEMPTY(field, Type, flag, column, default_)            \
+  IW_REQUIRE(!spec.field.empty(),                                        \
+             "sweep axis '" column "' needs at least one value");
+  IW_SWEEP_AXES(IW_AXIS_NONEMPTY)
+#undef IW_AXIS_NONEMPTY
   IW_REQUIRE(spec.steps > 0, "sweep steps must be positive");
   // 4-neighbor halo exchange has no uni/bidirectional flavor; a multi-valued
   // direction axis would silently duplicate grid points under distinct
@@ -86,36 +96,53 @@ std::vector<SweepPoint> expand(const SweepSpec& spec) {
              "grid2d sweeps take no direction axis");
   for (const int n : spec.np) IW_REQUIRE(n > 1, "sweep np must exceed 1");
   for (const int k : spec.ppn) IW_REQUIRE(k > 0, "sweep ppn must be positive");
+  for (const int d : spec.nic_depth)
+    IW_REQUIRE(d >= 0, "sweep nic_depth must be >= 0 (0 = unlimited)");
+  for (const int c : spec.eager_credits)
+    IW_REQUIRE(c >= 0, "sweep eager_credits must be >= 0 (0 = unlimited)");
+
+  // Odometer over the axis registry: sizes in declaration order, strides
+  // built back-to-front so the first axis is slowest and the last fastest
+  // (the historical nested-loop order, now derived instead of spelled out).
+  std::array<std::size_t, kSweepAxisCount> sizes{};
+  {
+    std::size_t a = 0;
+#define IW_AXIS_SIZE(field, Type, flag, column, default_) \
+  sizes[a++] = spec.field.size();
+    IW_SWEEP_AXES(IW_AXIS_SIZE)
+#undef IW_AXIS_SIZE
+  }
+  std::array<std::size_t, kSweepAxisCount> strides{};
+  std::size_t stride = 1;
+  for (std::size_t a = kSweepAxisCount; a-- > 0;) {
+    strides[a] = stride;
+    stride *= sizes[a];
+  }
+  const std::size_t total = stride;
 
   const Rng campaign(spec.campaign_seed);
   std::vector<SweepPoint> points;
-  points.reserve(spec.points());
-  for (const double delay : spec.delay_ms)
-    for (const std::int64_t bytes : spec.msg_bytes)
-      for (const int n : spec.np)
-        for (const int k : spec.ppn)
-          for (const double noise_E : spec.noise_E_percent)
-            for (const auto dir : spec.direction)
-              for (const auto bound : spec.boundary) {
-                SweepPoint pt;
-                pt.index = points.size();
-                pt.delay_ms = delay;
-                pt.msg_bytes = bytes;
-                pt.np = n;
-                pt.ppn = k;
-                pt.noise_E_percent = noise_E;
-                pt.direction = dir;
-                pt.boundary = bound;
-                pt.workload = spec.workload;
-                pt.exp = build_experiment(spec, pt);
-                // fork() is order-independent, so the seed of point i is a
-                // pure function of (campaign_seed, i) — the key to
-                // thread-count-invariant campaigns.
-                pt.exp.cluster.seed =
-                    campaign.fork(static_cast<std::uint64_t>(pt.index))
-                        .next_u64();
-                points.push_back(std::move(pt));
-              }
+  points.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    SweepPoint pt;
+    pt.index = i;
+    {
+      std::size_t a = 0;
+#define IW_AXIS_ASSIGN(field, Type, flag, column, default_) \
+  pt.field = spec.field[(i / strides[a]) % sizes[a]];       \
+  ++a;
+      IW_SWEEP_AXES(IW_AXIS_ASSIGN)
+#undef IW_AXIS_ASSIGN
+    }
+    pt.workload = spec.workload;
+    pt.exp = build_experiment(spec, pt);
+    // fork() is order-independent, so the seed of point i is a pure
+    // function of (campaign_seed, i) — the key to thread-count-invariant
+    // campaigns.
+    pt.exp.cluster.seed =
+        campaign.fork(static_cast<std::uint64_t>(pt.index)).next_u64();
+    points.push_back(std::move(pt));
+  }
   return points;
 }
 

@@ -1,13 +1,17 @@
 // Declarative sweep specifications: the paper's parameter scans as data.
 //
 // Every quantitative result in the paper is a scan — delay magnitude,
-// message size, rank count, ranks-per-node, noise level — over dozens of
-// configurations. A SweepSpec names the axes once; expand() takes their
-// Cartesian product and materializes one fully-seeded WaveExperiment per
-// grid point. Expansion is deterministic: point `i` always receives the
-// same experiment (including its RNG seed, split off the campaign seed via
-// Rng::fork(i)), so any execution order — one thread or many — reproduces
-// the same campaign.
+// message size, rank count, ranks-per-node, noise level, and the protocol
+// axes (NIC injection depth, eager credit window, rendezvous flavor) —
+// over dozens of configurations. A SweepSpec names the axes once; expand()
+// takes their Cartesian product and materializes one fully-seeded
+// WaveExperiment per grid point. Expansion is deterministic: point `i`
+// always receives the same experiment (including its RNG seed, split off
+// the campaign seed via Rng::fork(i)), so any execution order — one thread
+// or many — reproduces the same campaign.
+//
+// The axis set itself lives in sweep/axes.hpp (IW_SWEEP_AXES); both structs
+// below generate their axis members from it.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +20,7 @@
 
 #include "core/experiment.hpp"
 #include "support/time.hpp"
+#include "sweep/axes.hpp"
 #include "workload/ring.hpp"
 
 namespace iw::sweep {
@@ -28,24 +33,29 @@ enum class Workload : std::uint8_t { ring, grid2d };
 }
 
 /// Axes (vectors, each must stay non-empty) and shared scalars of one
-/// campaign. The Cartesian product is enumerated with the delay axis
-/// slowest and the boundary axis fastest, in declaration order.
+/// campaign. The Cartesian product is enumerated in IW_SWEEP_AXES
+/// declaration order, first axis slowest / last axis fastest.
+///
+/// Axis semantics (see axes.hpp for the registry itself):
+///   delay_ms         — one-off delay magnitude
+///   msg_bytes        — point-to-point message size
+///   np               — total ranks
+///   ppn              — 1 = one rank per node (paper's PPN=1 baseline),
+///                      k > 1 = packed placement with k ranks per socket
+///   noise_E_percent  — injected fine-grained exponential noise, mean as
+///                      percent of texec (the paper's E); 0 = none
+///   direction        — ring-only (halo exchange has no uni/bi flavor);
+///                      grid2d sweeps must leave it single-valued
+///   boundary         — open chain vs periodic ring/torus
+///   nic_depth        — NIC injection budget; 0 = unlimited (ideal NIC)
+///   eager_credits    — per-destination eager credit window; 0 = unlimited
+///   rdv_flavor       — rendezvous wire flavor (two_sided/rdma_put/rdma_get)
 struct SweepSpec {
-  // --- axes ---------------------------------------------------------------
-  std::vector<double> delay_ms = {12.0};        ///< one-off delay magnitude
-  std::vector<std::int64_t> msg_bytes = {8192};  ///< point-to-point size
-  std::vector<int> np = {18};                   ///< total ranks
-  /// Ranks per node: 1 = one rank per node (paper's PPN=1 baseline),
-  /// k > 1 = packed placement with k ranks per socket.
-  std::vector<int> ppn = {1};
-  /// Injected fine-grained exponential noise, mean as percent of texec
-  /// (the paper's E parameter); 0 = no injected noise.
-  std::vector<double> noise_E_percent = {0.0};
-  /// Ring-only axis (halo exchange has no uni/bi flavor); grid2d sweeps
-  /// must leave it single-valued.
-  std::vector<workload::Direction> direction = {
-      workload::Direction::unidirectional};
-  std::vector<workload::Boundary> boundary = {workload::Boundary::open};
+  // --- axes (generated from IW_SWEEP_AXES) --------------------------------
+#define IW_AXIS_VECTOR(field, Type, flag, column, default_) \
+  std::vector<Type> field = {default_};
+  IW_SWEEP_AXES(IW_AXIS_VECTOR)
+#undef IW_AXIS_VECTOR
 
   // --- scalars ------------------------------------------------------------
   Workload workload = Workload::ring;
@@ -70,20 +80,17 @@ struct SweepSpec {
 /// ready-to-run experiment.
 struct SweepPoint {
   std::size_t index = 0;
-  double delay_ms = 0.0;
-  std::int64_t msg_bytes = 0;
-  int np = 0;
-  int ppn = 1;
-  double noise_E_percent = 0.0;
-  workload::Direction direction = workload::Direction::unidirectional;
-  workload::Boundary boundary = workload::Boundary::open;
+#define IW_AXIS_MEMBER(field, Type, flag, column, default_) \
+  Type field = default_;
+  IW_SWEEP_AXES(IW_AXIS_MEMBER)
+#undef IW_AXIS_MEMBER
   Workload workload = Workload::ring;
   core::WaveExperiment exp;
 };
 
 /// Expands the Cartesian product of the axes. Throws std::invalid_argument
-/// on empty axes, non-positive np/steps, or (for grid2d sweeps) np values
-/// without an exact square root.
+/// on empty axes, non-positive np/steps, negative protocol-axis values, or
+/// (for grid2d sweeps) np values without an exact square root.
 [[nodiscard]] std::vector<SweepPoint> expand(const SweepSpec& spec);
 
 }  // namespace iw::sweep

@@ -24,7 +24,10 @@ namespace iw::verify {
 
 /// Version of the golden file layout + column semantics. Bump when the
 /// header format changes or a column changes meaning without renaming.
-inline constexpr int kGoldenSchemaVersion = 1;
+/// v2: protocol axes (nic_depth, eager_credits, rdv_flavor) join the axis
+/// block, eager_demotions joins the observables, and the identity columns
+/// settle into registry order (axes before workload/seed).
+inline constexpr int kGoldenSchemaVersion = 2;
 
 struct GoldenCorpus {
   int schema_version = kGoldenSchemaVersion;

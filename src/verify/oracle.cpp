@@ -4,8 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <string_view>
 #include <tuple>
 #include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "sweep/axes.hpp"
 
 namespace iw::verify {
 namespace {
@@ -19,10 +24,36 @@ void violate(OracleReport& report, std::uint64_t index,
 /// The transport's static protocol rule (mirrors core/experiment.cpp).
 const char* expected_protocol(const sweep::SweepPoint& point) {
   const auto& cluster = point.exp.cluster;
-  const std::int64_t limit = cluster.transport.eager_limit_override >= 0
-                                 ? cluster.transport.eager_limit_override
-                                 : cluster.fabric.eager_limit_bytes;
-  return point.msg_bytes > limit ? "rendezvous" : "eager";
+  return cluster.transport.protocol_by_size(point.msg_bytes,
+                                            cluster.fabric.eager_limit_bytes) ==
+                 mpi::WireProtocol::rendezvous
+             ? "rendezvous"
+             : "eager";
+}
+
+/// Serialized value of axis/identity column `column` of `r`.
+std::string column_text(const sweep::SweepRecord& r, const char* column) {
+  const auto c = sweep::column_index(column);
+  IW_CHECK(c.has_value(), std::string("unknown record column ") + column);
+  return sweep::column_value(r, *c);
+}
+
+/// Grouping key over every axis except the ones in `skip` (plus the
+/// workload identity column). Derived from the axis registry so a new axis
+/// automatically partitions the trend groups.
+std::string group_key(const sweep::SweepRecord& r,
+                      std::initializer_list<std::string_view> skip) {
+  std::string key = r.workload;
+  for (const char* column : {
+#define IW_AXIS_NAME(field, Type, flag, column, default_) column,
+           IW_SWEEP_AXES(IW_AXIS_NAME)
+#undef IW_AXIS_NAME
+       }) {
+    if (std::find(skip.begin(), skip.end(), column) != skip.end()) continue;
+    key += '|';
+    key += column_text(r, column);
+  }
+  return key;
 }
 
 void check_sanity(OracleReport& report, const sweep::SweepRecord& r) {
@@ -64,20 +95,20 @@ void check_expansion(OracleReport& report, const sweep::SweepRecord& r,
   }
   // The identity/axis columns must match what re-expanding the catalog spec
   // yields — a mismatch means the corpus was built from a drifted catalog.
+  // Both the expectation and the column list come from the axis registry.
   sweep::SweepRecord expect;
   expect.index = point->index;
-  expect.delay_ms = point->delay_ms;
-  expect.msg_bytes = point->msg_bytes;
-  expect.np = point->np;
-  expect.ppn = point->ppn;
-  expect.noise_E_percent = point->noise_E_percent;
+#define IW_AXIS_EXPECT(field, Type, flag, column, default_) \
+  expect.field = sweep::AxisValue<Type>::to_record(point->field);
+  IW_SWEEP_AXES(IW_AXIS_EXPECT)
+#undef IW_AXIS_EXPECT
   expect.workload = to_string(point->workload);
-  expect.direction = to_string(point->direction);
-  expect.boundary = to_string(point->boundary);
   expect.seed = point->exp.cluster.seed;
-  for (const char* column :
-       {"delay_ms", "msg_bytes", "np", "ppn", "noise_E_percent", "workload",
-        "direction", "boundary", "seed"}) {
+  for (const char* column : {
+#define IW_AXIS_NAME(field, Type, flag, column, default_) column,
+           IW_SWEEP_AXES(IW_AXIS_NAME)
+#undef IW_AXIS_NAME
+           "workload", "seed"}) {
     const std::size_t c = *sweep::column_index(column);
     const std::string want = sweep::column_value(expect, c);
     const std::string got = sweep::column_value(r, c);
@@ -137,13 +168,9 @@ void check_damping_trends(OracleReport& report,
                           const sweep::OracleBounds& bounds,
                           const std::vector<sweep::SweepRecord>& records) {
   // Group by every axis except noise E.
-  using Key = std::tuple<double, std::int64_t, int, int, std::string,
-                         std::string, std::string>;
-  std::map<Key, std::vector<const sweep::SweepRecord*>> groups;
+  std::map<std::string, std::vector<const sweep::SweepRecord*>> groups;
   for (const sweep::SweepRecord& r : records)
-    groups[{r.delay_ms, r.msg_bytes, r.np, r.ppn, r.workload, r.direction,
-            r.boundary}]
-        .push_back(&r);
+    groups[group_key(r, {"noise_E_percent"})].push_back(&r);
   for (auto& [key, group] : groups) {
     if (group.size() < 2) continue;
     std::sort(group.begin(), group.end(),
@@ -177,6 +204,90 @@ void check_damping_trends(OracleReport& report,
   }
 }
 
+/// Loosest-to-tightest order of a resource-constraint axis: 0 means
+/// unlimited, then larger budgets are looser than smaller ones.
+double constraint_tightness(double value) {
+  return value == 0.0 ? -std::numeric_limits<double>::infinity() : -value;
+}
+
+void check_constraint_trends(OracleReport& report,
+                             const sweep::OracleBounds& bounds,
+                             const std::vector<sweep::SweepRecord>& records) {
+  const std::string& axis = bounds.constraint_axis;
+  const auto value_of = [&axis](const sweep::SweepRecord& r) {
+    return std::stod(column_text(r, axis.c_str()));
+  };
+
+  // Tightening the constraint must never speed the run up, with all other
+  // axes fixed.
+  std::map<std::string, std::vector<const sweep::SweepRecord*>> groups;
+  for (const sweep::SweepRecord& r : records)
+    groups[group_key(r, {axis})].push_back(&r);
+  for (auto& [key, group] : groups) {
+    if (group.size() < 2) continue;
+    std::sort(group.begin(), group.end(),
+              [&](const auto* a, const auto* b) {
+                return constraint_tightness(value_of(*a)) <
+                       constraint_tightness(value_of(*b));
+              });
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      const double prev = group[i - 1]->cycle_us;
+      const double floor = prev * (1.0 - bounds.constraint_cycle_slack_rel);
+      if (group[i]->cycle_us < floor)
+        violate(report, group[i]->index, "constraint_monotone", "cycle_us",
+                group[i]->cycle_us, floor,
+                "cycle shrank as " + axis + " tightened to " +
+                    csv_num(value_of(*group[i])) + " (vs " +
+                    csv_num(prev) + " us at " + axis + "=" +
+                    csv_num(value_of(*group[i - 1])) + ")");
+    }
+  }
+
+  // Crossover-shift direction: eager senders couple to the constrained
+  // resource (deferred local completion / demotion), rendezvous senders
+  // already wait out handshakes — so between the unconstrained baseline and
+  // the tightest setting, eager must slow down at least as much.
+  std::map<std::string, std::vector<const sweep::SweepRecord*>> panels;
+  for (const sweep::SweepRecord& r : records)
+    panels[group_key(r, {axis, "msg_bytes"})].push_back(&r);
+  for (auto& [key, panel] : panels) {
+    double loosest = std::numeric_limits<double>::infinity();
+    double tightest = -std::numeric_limits<double>::infinity();
+    for (const auto* r : panel) {
+      loosest = std::min(loosest, constraint_tightness(value_of(*r)));
+      tightest = std::max(tightest, constraint_tightness(value_of(*r)));
+    }
+    if (loosest == tightest) continue;
+    double slowdown[2] = {0.0, 0.0};  // [eager, rendezvous]
+    std::uint64_t witness = 0;
+    bool complete = true;
+    for (int p = 0; p < 2; ++p) {
+      const std::string proto = p == 0 ? "eager" : "rendezvous";
+      std::vector<double> base, tight;
+      for (const auto* r : panel) {
+        if (r->protocol != proto || r->cycle_us <= 0.0) continue;
+        const double t = constraint_tightness(value_of(*r));
+        if (t == loosest) base.push_back(r->cycle_us);
+        if (t == tightest) tight.push_back(r->cycle_us);
+        if (p == 0 && t == tightest) witness = r->index;
+      }
+      if (base.empty() || tight.empty()) {
+        complete = false;
+        break;
+      }
+      slowdown[p] = median(tight) / median(base);
+    }
+    if (!complete) continue;
+    if (slowdown[0] < slowdown[1] - bounds.crossover_shift_slack)
+      violate(report, witness, "crossover_shift", "cycle_us", slowdown[0],
+              slowdown[1] - bounds.crossover_shift_slack,
+              "tightening " + axis + " slowed eager by x" +
+                  csv_num(slowdown[0]) + " but rendezvous by x" +
+                  csv_num(slowdown[1]) +
+                  " — the crossover moved the wrong way");
+  }
+}
+
 }  // namespace
 
 OracleReport check_oracles(const sweep::Scenario& scenario,
@@ -199,6 +310,8 @@ OracleReport check_oracles(const sweep::Scenario& scenario,
   }
   if (scenario.oracle.damping_trend_in_noise)
     check_damping_trends(report, scenario.oracle, records);
+  if (!scenario.oracle.constraint_axis.empty())
+    check_constraint_trends(report, scenario.oracle, records);
   return report;
 }
 

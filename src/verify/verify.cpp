@@ -115,7 +115,8 @@ void self_check(ScenarioVerdict& verdict, const GoldenCorpus& corpus,
                 const std::vector<sweep::SweepRecord>& fresh,
                 const VerifyOptions& options) {
   // One perturbed golden field per tolerance class, one perturbed sim
-  // observable: all three must be caught and named.
+  // observable, one perturbed protocol-axis column (schema-v2 coverage):
+  // all four must be caught and named.
   verdict.mutations.push_back(run_mutation(verdict.scenario, corpus.records,
                                            fresh, options, "golden",
                                            "v_up_ranks_per_sec"));
@@ -124,6 +125,8 @@ void self_check(ScenarioVerdict& verdict, const GoldenCorpus& corpus,
   verdict.mutations.push_back(run_mutation(verdict.scenario, corpus.records,
                                            fresh, options, "sim",
                                            "cycle_us"));
+  verdict.mutations.push_back(run_mutation(
+      verdict.scenario, corpus.records, fresh, options, "golden", "nic_depth"));
 }
 
 // ---- JSON rendering -------------------------------------------------------

@@ -161,7 +161,7 @@ TEST(PropagationFlavors, EagerBufferExhaustionCreatesBackwardWave) {
     WaveExperiment exp = flavor_experiment(
         workload::Direction::unidirectional, workload::Boundary::open,
         kSmall);
-    exp.cluster.transport.eager_buffer_capacity = capacity;
+    exp.cluster.transport.eager.buffer_capacity = capacity;
     return run_wave_experiment(exp);
   };
 

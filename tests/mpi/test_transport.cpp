@@ -17,13 +17,13 @@ namespace {
 class TransportFixture {
  public:
   explicit TransportFixture(int ranks,
-                            Transport::Options options = {},
+                            TransportConfig config = {},
                             net::FabricProfile fabric =
                                 net::FabricProfile::ideal(microseconds(1.0),
                                                           1e9))
       : topo_(net::TopologySpec::one_rank_per_node(ranks)),
         fabric_(std::move(fabric)),
-        transport_(engine_, topo_, fabric_, options) {
+        transport_(engine_, topo_, fabric_, config) {
     transport_.set_completion_handler([this](int rank, RequestId req) {
       completions_[{rank, req}] = engine_.now();
     });
@@ -140,16 +140,16 @@ TEST(Transport, ProtocolSelectionByEagerLimit) {
 }
 
 TEST(Transport, EagerLimitOverride) {
-  Transport::Options opt;
-  opt.eager_limit_override = 1000;
+  TransportConfig opt;
+  opt.eager.limit_override = 1000;
   TransportFixture f(2, opt);
   EXPECT_EQ(f.transport_.eager_limit(), 1000);
   EXPECT_EQ(f.transport_.protocol_for(0, 1, 1001), WireProtocol::rendezvous);
 }
 
 TEST(Transport, RendezvousWaitsForReceiver) {
-  Transport::Options opt;
-  opt.eager_limit_override = 0;  // force rendezvous for every size
+  TransportConfig opt;
+  opt.eager.limit_override = 0;  // force rendezvous for every size
   TransportFixture f(2, opt);
   f.post_send(0, 1, 0, 1000, 0);
   f.engine_.run();
@@ -165,8 +165,8 @@ TEST(Transport, RendezvousWaitsForReceiver) {
 }
 
 TEST(Transport, RendezvousTimingIncludesHandshake) {
-  Transport::Options opt;
-  opt.eager_limit_override = 0;
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
   TransportFixture f(2, opt);
   f.transport_.post_recv(1, 0, 0, 1000, 0);
   f.post_send(0, 1, 0, 1000, 0);
@@ -180,8 +180,8 @@ TEST(Transport, RendezvousTimingIncludesHandshake) {
 }
 
 TEST(Transport, DeferredPushHoldsDataWhileHandshakeOutstanding) {
-  Transport::Options opt;
-  opt.eager_limit_override = 0;
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
   TransportFixture f(3, opt);
   // Rank 0 sends to 1 (recv posted) and to 2 (no recv posted -> handshake
   // stuck). Under deferred_push the completed handshake to 1 must NOT push.
@@ -203,9 +203,9 @@ TEST(Transport, DeferredPushHoldsDataWhileHandshakeOutstanding) {
 }
 
 TEST(Transport, IndependentPushesImmediately) {
-  Transport::Options opt;
-  opt.eager_limit_override = 0;
-  opt.pipelining = RendezvousPipelining::independent;
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
+  opt.rendezvous.pipelining = RendezvousPipelining::independent;
   TransportFixture f(3, opt);
   f.transport_.post_recv(1, 0, 0, 1000, 0);
   f.post_send(0, 1, 0, 1000, 0);
@@ -217,8 +217,8 @@ TEST(Transport, IndependentPushesImmediately) {
 }
 
 TEST(Transport, FiniteEagerBufferFallsBackToRendezvous) {
-  Transport::Options opt;
-  opt.eager_buffer_capacity = 1500;
+  TransportConfig opt;
+  opt.eager.buffer_capacity = 1500;
   TransportFixture f(2, opt);
   // First send fits; second would exceed the backlog cap while the first
   // is still unmatched -> rendezvous fallback.
@@ -239,8 +239,8 @@ TEST(Transport, FiniteEagerBufferFallsBackToRendezvous) {
 }
 
 TEST(Transport, EagerBufferFallbackTracksBacklogAcrossDrain) {
-  Transport::Options opt;
-  opt.eager_buffer_capacity = 2500;
+  TransportConfig opt;
+  opt.eager.buffer_capacity = 2500;
   TransportFixture f(2, opt);
   // Three 1000 B sends: the first two fit the 2500 B backlog cap, the
   // third must fall back to rendezvous while both are still unmatched.
@@ -270,9 +270,9 @@ TEST(Transport, EagerBufferFallbackTracksBacklogAcrossDrain) {
 }
 
 TEST(Transport, UnexpectedRtsMatchInArrivalOrder) {
-  Transport::Options opt;
-  opt.eager_limit_override = 0;  // every send is rendezvous
-  opt.pipelining = RendezvousPipelining::independent;
+  TransportConfig opt;
+  opt.eager.limit_override = 0;  // every send is rendezvous
+  opt.rendezvous.pipelining = RendezvousPipelining::independent;
   TransportFixture f(2, opt);
   // Two same-(src, tag) RTS queue as unexpected; later receives must pair
   // with them FIFO, so recv 0 gets send 0 and recv 1 gets send 1.
@@ -296,8 +296,8 @@ TEST(Transport, UnexpectedRtsMatchInArrivalOrder) {
 }
 
 TEST(Transport, DeferredPushCounterCountsEveryHeldPush) {
-  Transport::Options opt;
-  opt.eager_limit_override = 0;
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
   TransportFixture f(4, opt);
   // Rank 0 opens three handshakes; receivers 1 and 2 answer immediately,
   // receiver 3 stays silent. Both completed handshakes must be held (two
@@ -324,8 +324,8 @@ TEST(Transport, DeferredPushCounterCountsEveryHeldPush) {
 }
 
 TEST(Transport, MidRunStopLeavesInFlightRendezvousRecoverable) {
-  Transport::Options opt;
-  opt.eager_limit_override = 0;
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
   TransportFixture f(2, opt);
   f.transport_.post_recv(1, 0, 0, 1000, 0);
   f.post_send(0, 1, 0, 1000, 0);
@@ -342,8 +342,8 @@ TEST(Transport, MidRunStopLeavesInFlightRendezvousRecoverable) {
 }
 
 TEST(Transport, SteadyStateMessagePathAllocatesNothing) {
-  Transport::Options opt;
-  opt.eager_limit_override = 4096;  // small sends eager, large rendezvous
+  TransportConfig opt;
+  opt.eager.limit_override = 4096;  // small sends eager, large rendezvous
   TransportFixture f(4, opt);
 
   // One mixed round: pre-posted eager, unexpected eager, and a rendezvous
@@ -477,8 +477,8 @@ TEST(Transport, MemoryPathCopiesContendWithComputeJobs) {
 // reconciliation (pool_stats().rdv_in_flight == live shadow slots) is part
 // of audit() itself, so this doubles as the pool-balance regression test.
 TEST(Transport, AuditHoldsAcrossProtocolPhasesAndReconfigure) {
-  Transport::Options opt;
-  opt.eager_limit_override = 4096;
+  TransportConfig opt;
+  opt.eager.limit_override = 4096;
   TransportFixture f(4, opt);
   f.transport_.audit();  // pristine
 
@@ -518,6 +518,312 @@ TEST(Transport, AuditHoldsAcrossProtocolPhasesAndReconfigure) {
   f.engine_.run();
   f.transport_.audit();
   EXPECT_TRUE(f.completed(1, 902));
+}
+
+// ---- TransportConfig: validation and presets ------------------------------
+
+TEST(TransportConfig, ValidateRejectsInconsistentCombinations) {
+  TransportConfig c;
+  c.nic.injection_depth = -1;
+  try {
+    c.validate();
+    FAIL() << "negative injection_depth must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nic.injection_depth"),
+              std::string::npos);
+  }
+
+  c = {};
+  c.nic.backlog_capacity = 8;  // bounded backlog on an unbounded NIC
+  try {
+    c.validate();
+    FAIL() << "backlog without a finite injection depth must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("injection_depth"),
+              std::string::npos);
+  }
+
+  c = {};
+  c.eager.buffer_capacity = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.eager.credit_window = -3;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.eager.limit_override = -2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(TransportConfig, PresetsValidateAndSetTheirFields) {
+  EXPECT_NO_THROW(TransportConfig::ideal().validate());
+
+  const TransportConfig nic = TransportConfig::finite_nic(4, 16);
+  EXPECT_NO_THROW(nic.validate());
+  EXPECT_EQ(nic.nic.injection_depth, 4);
+  EXPECT_EQ(nic.nic.backlog_capacity, 16);
+
+  const TransportConfig credits = TransportConfig::credit_limited(3);
+  EXPECT_NO_THROW(credits.validate());
+  EXPECT_EQ(credits.eager.credit_window, 3);
+}
+
+TEST(TransportConfig, TransportConstructorValidates) {
+  TransportConfig bad;
+  bad.nic.backlog_capacity = 8;  // inconsistent: unbounded NIC
+  EXPECT_THROW(TransportFixture f(2, bad), std::invalid_argument);
+}
+
+TEST(TransportConfig, FlavorParserRoundTripsAndRejects) {
+  EXPECT_EQ(rendezvous_flavor_from_string("rdma_put"),
+            RendezvousFlavor::rdma_put);
+  EXPECT_EQ(rendezvous_flavor_from_string(to_string(
+                RendezvousFlavor::rdma_get)),
+            RendezvousFlavor::rdma_get);
+  EXPECT_THROW((void)rendezvous_flavor_from_string("rdma_write"),
+               std::invalid_argument);
+}
+
+// ---- Finite-injection NIC -------------------------------------------------
+
+TEST(Transport, NicBacklogDrainsFifoAcrossEndpointsUnderInterleaving) {
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
+  for (auto& p : fabric.link) p.gap = microseconds(5.0);
+  TransportFixture f(3, TransportConfig::finite_nic(1), fabric);
+  f.transport_.post_recv(1, 0, 0, 0, 0);
+  f.transport_.post_recv(2, 0, 0, 0, 0);
+  f.transport_.post_recv(1, 0, 0, 0, 1);
+  f.transport_.post_recv(2, 0, 0, 0, 1);
+
+  // Depth-1 NIC: the first post injects, the rest queue on the backlog.
+  f.post_send(0, 1, 0, 0, 10);
+  f.post_send(0, 2, 0, 0, 11);
+  f.post_send(0, 1, 0, 0, 12);
+  f.post_send(0, 2, 0, 0, 13);
+  EXPECT_EQ(f.transport_.stats().nic_backlogged, 3u);
+  EXPECT_EQ(f.transport_.pool_stats().nic_backlog_depth, 3u);
+
+  // Interleave: while drains are still re-posting the backlog, a new send
+  // arrives. FIFO means it goes strictly behind the queued ones, even
+  // though the budget briefly frees right before it is posted.
+  f.engine_.run_until(SimTime{7000});
+  f.transport_.post_recv(1, 0, 0, 0, 2);
+  f.post_send(0, 1, 0, 0, 14);
+  f.engine_.run();
+
+  // gap 5 us + latency 1 us each, serialized: arrivals at 6, 11, 16, 21,
+  // 26 us in exact posting order across both destinations.
+  EXPECT_EQ(f.completion_time(1, 0), SimTime{6000});
+  EXPECT_EQ(f.completion_time(2, 0), SimTime{11000});
+  EXPECT_EQ(f.completion_time(1, 1), SimTime{16000});
+  EXPECT_EQ(f.completion_time(2, 1), SimTime{21000});
+  EXPECT_EQ(f.completion_time(1, 2), SimTime{26000});
+  EXPECT_EQ(f.transport_.pool_stats().nic_backlog_depth, 0u);
+  EXPECT_EQ(f.transport_.pool_stats().nic_inflight, 0u);
+}
+
+TEST(Transport, NicBacklogDefersEagerLocalCompletion) {
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
+  for (auto& p : fabric.link) p.gap = microseconds(5.0);
+  TransportFixture f(2, TransportConfig::finite_nic(1), fabric);
+  f.transport_.post_recv(1, 0, 0, 0, 0);
+  f.transport_.post_recv(1, 0, 0, 0, 1);
+
+  // The first eager send completes locally at post time (the ideal-NIC
+  // behaviour); the second is backlogged and must complete only when it
+  // reaches the NIC at t = 5 us — the sender is coupled to NIC drain.
+  f.post_send(0, 1, 0, 0, 10);
+  f.post_send(0, 1, 0, 0, 11);
+  f.engine_.run();
+  EXPECT_EQ(f.completion_time(0, 10), SimTime::zero());
+  EXPECT_EQ(f.completion_time(0, 11), SimTime{5000});
+}
+
+TEST(Transport, NicBoundedBacklogOverflowIsAHardError) {
+  TransportFixture f(2, TransportConfig::finite_nic(1, /*backlog=*/1));
+  f.post_send(0, 1, 0, 1000, 0);  // injects
+  f.post_send(0, 1, 0, 1000, 1);  // fills the one backlog slot
+  EXPECT_THROW(f.post_send(0, 1, 0, 1000, 2), std::logic_error);
+}
+
+TEST(Transport, NicBudgetAppliesToRtsButProtocolStillProgresses) {
+  TransportConfig opt = TransportConfig::finite_nic(1);
+  opt.eager.limit_override = 0;  // every send is rendezvous
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
+  for (auto& p : fabric.link) p.gap = microseconds(5.0);
+  TransportFixture f(3, opt, fabric);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.transport_.post_recv(2, 0, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 2, 0, 1000, 1);  // RTS backlogged behind the first
+  EXPECT_EQ(f.transport_.stats().nic_backlogged, 1u);
+  f.engine_.run();
+  // CTS and pushes are budget-exempt responses, so both handshakes finish.
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_TRUE(f.completed(2, 0));
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_TRUE(f.completed(0, 1));
+  EXPECT_EQ(f.transport_.pool_stats().rdv_in_flight, 0u);
+}
+
+// ---- Credit-based eager flow control --------------------------------------
+
+TEST(Transport, CreditExhaustionMidBurstLosesNoMessages) {
+  TransportFixture f(2, TransportConfig::credit_limited(2));
+  // Burst of four eager-sized sends with no receiver: the first two take
+  // the window's credits, the rest demote to rendezvous — nothing is
+  // dropped, the demoted sends just wait for the receiver like any
+  // rendezvous message.
+  for (int i = 0; i < 4; ++i) f.post_send(0, 1, 0, 1000, 10 + i);
+  f.engine_.run();
+  EXPECT_EQ(f.transport_.stats().eager_sends, 2u);
+  EXPECT_EQ(f.transport_.stats().credit_stalls, 2u);
+  EXPECT_EQ(f.transport_.stats().rendezvous_sends, 2u);
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::rendezvous);
+  EXPECT_TRUE(f.completed(0, 10));   // eager: completed locally
+  EXPECT_FALSE(f.completed(0, 12));  // demoted: waiting for the receiver
+
+  // Receiver drains the burst: every message arrives exactly once and the
+  // returned credits restore the eager protocol.
+  for (int i = 0; i < 4; ++i) f.transport_.post_recv(1, 0, 0, 1000, 20 + i);
+  f.engine_.run();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(f.completed(1, 20 + i)) << "receive " << i << " lost";
+    EXPECT_TRUE(f.completed(0, 10 + i)) << "send " << i << " lost";
+  }
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::eager);
+}
+
+TEST(Transport, CreditsReturnOnReceiverDrainNotArrival) {
+  TransportFixture f(2, TransportConfig::credit_limited(1));
+  f.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();  // payload has ARRIVED (unexpected) but is not drained
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::rendezvous);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::eager);
+}
+
+TEST(Transport, CreditWindowsArePerEndpointPair) {
+  TransportFixture f(3, TransportConfig::credit_limited(1));
+  f.post_send(0, 1, 0, 1000, 0);
+  EXPECT_EQ(f.transport_.protocol_for(0, 1, 1000), WireProtocol::rendezvous);
+  // An unrelated pair keeps its own window.
+  EXPECT_EQ(f.transport_.protocol_for(0, 2, 1000), WireProtocol::eager);
+  EXPECT_EQ(f.transport_.protocol_for(2, 1, 1000), WireProtocol::eager);
+}
+
+// ---- RDMA put/get rendezvous flavors --------------------------------------
+
+TEST(Transport, RdmaPutFinCompletesReceiverAfterPayload) {
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
+  opt.rendezvous.flavor = RendezvousFlavor::rdma_put;
+  net::FabricProfile fabric = net::FabricProfile::ideal(microseconds(1.0), 1e9);
+  for (auto& p : fabric.link) p.gap = microseconds(2.0);
+  TransportFixture f(2, opt, fabric);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();
+  // RTS (gap 2 + lat 1 = 3) -> RTR (3 more) -> put injection (gap 2 +
+  // 1000 B = 3): the sender is done at hand-off, t = 9 us. The receiver
+  // completes at the FIN's arrival (2 + 1 more), t = 12 us — strictly
+  // after the payload landed at t = 10. A WaitAll that saw the payload
+  // arrive must still block until the FIN races in.
+  EXPECT_EQ(f.completion_time(0, 0), SimTime{9000});
+  EXPECT_EQ(f.completion_time(1, 0), SimTime{12000});
+  EXPECT_EQ(f.transport_.rendezvous_transfer_time(0, 1, 1000),
+            Duration{12000});
+  EXPECT_EQ(f.transport_.stats().rdma_puts, 1u);
+}
+
+TEST(Transport, RdmaGetReceiverCompletesAtArrival) {
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
+  opt.rendezvous.flavor = RendezvousFlavor::rdma_get;
+  TransportFixture f(2, opt);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();
+  // RTS 1 us + GET request 1 us + payload (1 us latency + 1 us transfer):
+  // the receiver completes at arrival, t = 4 us, with no CPU overhead; the
+  // trailing FIN retires the sender at t = 5 us, off the critical path.
+  EXPECT_EQ(f.completion_time(1, 0), SimTime{4000});
+  EXPECT_EQ(f.completion_time(0, 0), SimTime{5000});
+  EXPECT_EQ(f.transport_.rendezvous_transfer_time(0, 1, 1000),
+            Duration{4000});
+  EXPECT_EQ(f.transport_.stats().rdma_gets, 1u);
+}
+
+TEST(Transport, OneSidedFlavorsIgnoreDeferredPush) {
+  // Under two_sided/deferred_push a second outstanding handshake holds the
+  // first push (DeferredPushHoldsDataWhileHandshakeOutstanding). One-sided
+  // puts are executed by the NIC and must NOT be held.
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
+  opt.rendezvous.flavor = RendezvousFlavor::rdma_put;
+  TransportFixture f(3, opt);
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.post_send(0, 1, 0, 1000, 0);
+  f.post_send(0, 2, 0, 1000, 1);  // stuck handshake, no receiver
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_EQ(f.transport_.stats().deferred_pushes, 0u);
+}
+
+TEST(Transport, RdmaPutUnexpectedRtsMatchesOnLateRecv) {
+  TransportConfig opt;
+  opt.eager.limit_override = 0;
+  opt.rendezvous.flavor = RendezvousFlavor::rdma_put;
+  TransportFixture f(2, opt);
+  f.post_send(0, 1, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_EQ(f.transport_.stats().unexpected_rts, 1u);
+  EXPECT_FALSE(f.completed(0, 0));
+  f.transport_.post_recv(1, 0, 0, 1000, 0);
+  f.engine_.run();
+  EXPECT_TRUE(f.completed(0, 0));
+  EXPECT_TRUE(f.completed(1, 0));
+  EXPECT_EQ(f.transport_.pool_stats().rdv_in_flight, 0u);
+}
+
+// ---- Combined-feature steady state ----------------------------------------
+
+TEST(Transport, SteadyStateWithFiniteNicAndCreditsAllocatesNothing) {
+  TransportConfig opt;
+  opt.eager.limit_override = 4096;
+  opt.nic.injection_depth = 2;
+  opt.eager.credit_window = 2;
+  TransportFixture f(4, opt);
+
+  const auto round = [&f](int reps) {
+    for (int r = 0; r < reps; ++r) {
+      // Burst deep enough to exercise the backlog AND the credit fallback.
+      for (int i = 0; i < 4; ++i) f.post_send(0, 1, 0, 1000, r * 32 + i);
+      for (int i = 0; i < 4; ++i)
+        f.transport_.post_recv(1, 0, 0, 1000, r * 32 + 8 + i);
+      f.post_send(2, 3, 0, 100'000, r * 32 + 16);  // rendezvous
+      f.transport_.post_recv(3, 2, 0, 100'000, r * 32 + 17);
+      f.engine_.run();
+      f.transport_.audit();
+    }
+  };
+
+  round(16);  // warm every pool, including backlog and credit tables
+  const Transport::PoolStats warm = f.transport_.pool_stats();
+  round(64);
+  const Transport::PoolStats after = f.transport_.pool_stats();
+  EXPECT_EQ(after.allocations, warm.allocations);
+  EXPECT_EQ(after.rdv_in_flight, 0u);
+  EXPECT_EQ(after.nic_backlog_depth, 0u);
+  EXPECT_EQ(after.nic_inflight, 0u);
+  EXPECT_GT(f.transport_.stats().nic_backlogged, 0u);
+  EXPECT_GT(f.transport_.stats().credit_stalls, 0u);
+
+  // Recycling across a sweep point keeps the pools (audit on entry).
+  f.engine_.reset();
+  f.transport_.reconfigure(f.fabric_, opt);
+  EXPECT_EQ(f.transport_.pool_stats().allocations, after.allocations);
 }
 
 }  // namespace

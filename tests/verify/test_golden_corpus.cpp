@@ -65,7 +65,7 @@ TEST(GoldenCorpus, QuickVerifyWithSelfCheckPassesEndToEnd) {
   EXPECT_TRUE(verdict.error.empty()) << verdict.error;
   EXPECT_TRUE(verdict.diff.clean());
   EXPECT_TRUE(verdict.oracle.clean());
-  ASSERT_EQ(verdict.mutations.size(), 3u);
+  ASSERT_EQ(verdict.mutations.size(), 4u);
   for (const MutationOutcome& m : verdict.mutations)
     EXPECT_TRUE(m.caught) << m.detail;
   EXPECT_TRUE(verdict.pass());

@@ -37,6 +37,9 @@ std::vector<sweep::SweepRecord> clean_records(const sweep::Scenario& s) {
     r.workload = to_string(p.workload);
     r.direction = to_string(p.direction);
     r.boundary = to_string(p.boundary);
+    r.nic_depth = p.nic_depth;
+    r.eager_credits = p.eager_credits;
+    r.rdv_flavor = to_string(p.rdv_flavor);
     r.seed = p.exp.cluster.seed;
     r.protocol = "eager";  // 16 KiB is far below the eager limit
     r.v_eq2_ranks_per_sec = 300.0;

@@ -22,6 +22,12 @@ Rules (each line of output is `path:line: [rule] message`):
                      points=<n>`, where <stem> matches the filename and <n>
                      matches the data-row count (verify/golden.cpp rejects
                      drift at load time; this catches it at review time).
+  transport-config-validate  every field of the TransportConfig policy
+                     structs (NicModel, EagerPolicy, RendezvousPolicy in
+                     src/mpi/transport_config.hpp) is referenced as
+                     `<group>.<field>` inside TransportConfig::validate()
+                     (src/mpi/transport_config.cpp) — a knob the validator
+                     never looks at is a knob that can silently hold garbage.
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -229,11 +235,81 @@ def check_golden_schema(repo: Path) -> list[str]:
     return problems
 
 
+# (struct name, field prefix inside validate()) for the grouped config.
+CONFIG_GROUPS = (
+    ("NicModel", "nic"),
+    ("EagerPolicy", "eager"),
+    ("RendezvousPolicy", "rendezvous"),
+)
+
+
+def struct_body(code: str, name: str, rel: str) -> tuple[int, str]:
+    """Returns (first line number, body text) of `struct <name> { ... }`."""
+    m = re.search(rf"\bstruct\s+{name}\s*{{", code)
+    if not m:
+        raise SystemExit(f"{rel}: struct {name} not found")
+    depth, i = 1, m.end()
+    while i < len(code) and depth:
+        depth += {"{": 1, "}": -1}.get(code[i], 0)
+        i += 1
+    return code.count("\n", 0, m.start()) + 1, code[m.end():i - 1]
+
+
+def struct_fields(body: str) -> list[str]:
+    """Data-member names declared in a struct body (functions excluded)."""
+    fields = []
+    for raw in body.split(";"):
+        decl = raw.split("=")[0].strip()
+        if not decl or "(" in decl or "{" in decl:
+            continue
+        name = decl.split()[-1]
+        if name.isidentifier():
+            fields.append(name)
+    return fields
+
+
+def check_transport_config_validate(repo: Path) -> list[str]:
+    hpp = repo / "src" / "mpi" / "transport_config.hpp"
+    cpp = repo / "src" / "mpi" / "transport_config.cpp"
+    rel_hpp = hpp.relative_to(repo).as_posix()
+    if not hpp.is_file() or not cpp.is_file():
+        return [f"{rel_hpp}:1: [transport-config-validate] "
+                f"transport_config.{'hpp' if not hpp.is_file() else 'cpp'} "
+                f"is missing — the grouped config and its validator must "
+                f"exist as a pair"]
+    header = strip_comments(hpp.read_text())
+    source = strip_comments(cpp.read_text())
+    m = re.search(r"TransportConfig::validate\(\)\s*const\s*{", source)
+    if not m:
+        return [f"{cpp.relative_to(repo).as_posix()}:1: "
+                f"[transport-config-validate] TransportConfig::validate() "
+                f"definition not found"]
+    depth, i = 1, m.end()
+    while i < len(source) and depth:
+        depth += {"{": 1, "}": -1}.get(source[i], 0)
+        i += 1
+    body = source[m.end():i - 1]
+
+    problems = []
+    for struct, prefix in CONFIG_GROUPS:
+        lineno, fields = struct_body(header, struct, rel_hpp)
+        for field in struct_fields(fields):
+            if f"{prefix}.{field}" not in body:
+                problems.append(
+                    f"{rel_hpp}:{lineno}: [transport-config-validate] "
+                    f"{struct}::{field} is never referenced in "
+                    f"TransportConfig::validate() — add a check (or an "
+                    f"explicit mention of {prefix}.{field} saying why any "
+                    f"value is acceptable)")
+    return problems
+
+
 RULES = {
     "banned-construct": check_banned_constructs,
     "source-registration": check_source_registration,
     "include-hygiene": check_include_hygiene,
     "golden-schema": check_golden_schema,
+    "transport-config-validate": check_transport_config_validate,
 }
 
 
@@ -262,8 +338,24 @@ def make_clean_tree(root: Path) -> None:
         '#include "sim/calendar.hpp"\n'
         "// a comment mentioning std::function must not trip the rule\n"
         'const char* kNote = "std::shared_ptr in a string is fine";\n')
+    (root / "src" / "mpi" / "transport_config.hpp").write_text(
+        "#pragma once\nnamespace iw::mpi {\n"
+        "struct NicModel {\n  int injection_depth = 0;\n};\n"
+        "struct EagerPolicy {\n  int credit_window = 0;\n};\n"
+        "struct RendezvousPolicy {\n  int flavor = 0;\n};\n"
+        "struct TransportConfig {\n  NicModel nic;\n  EagerPolicy eager;\n"
+        "  RendezvousPolicy rendezvous;\n  void validate() const;\n};\n}\n")
+    (root / "src" / "mpi" / "transport_config.cpp").write_text(
+        '#include "mpi/transport_config.hpp"\n'
+        "namespace iw::mpi {\n"
+        "void TransportConfig::validate() const {\n"
+        "  (void)nic.injection_depth;\n"
+        "  (void)eager.credit_window;\n"
+        "  (void)rendezvous.flavor;\n"
+        "}\n}\n")
     (root / "src" / "CMakeLists.txt").write_text(
-        "add_library(idlewave STATIC\n  sim/calendar.cpp\n)\n")
+        "add_library(idlewave STATIC\n  sim/calendar.cpp\n"
+        "  mpi/transport_config.cpp\n)\n")
     (root / "tests" / "sim_test.cpp").write_text(
         "TEST(Mini, Works) {}\n")
     (root / "tests" / "golden" / "mini.csv").write_text(
@@ -284,6 +376,12 @@ def seed_violation(root: Path, rule: str) -> None:
     elif rule == "golden-schema":
         (root / "tests" / "golden" / "drift.csv").write_text(
             "# iw-golden schema=1 scenario=drift points=5\nindex,np\n0,4\n")
+    elif rule == "transport-config-validate":
+        # A new knob lands in the header but validate() never looks at it.
+        hpp = root / "src" / "mpi" / "transport_config.hpp"
+        hpp.write_text(hpp.read_text().replace(
+            "  int injection_depth = 0;\n",
+            "  int injection_depth = 0;\n  int unchecked_knob = 7;\n"))
     else:
         raise AssertionError(f"no seeder for rule {rule}")
 
