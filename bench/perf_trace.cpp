@@ -1,0 +1,301 @@
+// Flight-recorder overhead certification with a machine-readable
+// BENCH_trace.json artifact.
+//
+// The protocol tracer is compiled into the production transport
+// unconditionally (each trace site is a branch-predicted null check when
+// disarmed), so "untraced" no longer exists as a build of the fast path.
+// What does still exist is the naive replica in transport_workloads.hpp,
+// which predates the flight recorder and never gained trace sites: the
+// fast/naive speedup ratio cancels the machine, and comparing today's
+// ratio against the pre-tracer reference recorded in
+// bench/baselines/BENCH_trace_baseline.json (paired-median speedups of a
+// transport built without trace sites) isolates exactly the cost of the
+// compiled-in (disarmed) instrumentation.
+//
+// Certifications:
+//   * disarmed overhead — geomean fast/naive speedup over the three
+//     perf_transport workloads must stay within 2% of the baseline
+//     geomean. Gated only when this run's mode matches the baseline's
+//     (speedups are size-dependent, so a --quick run against the full
+//     baseline would compare different workloads); a mode-mismatched run
+//     reports the ratio but gates the correctness guard (speedup >= 1)
+//     alone, and says so.
+//   * armed overhead — the same workloads re-run with the tracer armed
+//     (ring pre-sized, every protocol event recorded). Informational: the
+//     JSON carries the per-workload armed/disarmed contrast.
+//   * protocol zero-alloc — the finite-NIC and credit-window bursts from
+//     perf_transport's protocol cert re-run here with the tracer compiled
+//     in, both disarmed and armed; neither may grow a transport pool
+//     after warm-up. Gated.
+//
+// Flags: --json=<path> (default BENCH_trace.json; --out is an alias),
+//        --quick (CI-sized run), --reps=N, --ranks=N, --steps=N,
+//        --baseline=<path> (default: the checked-in BENCH_transport.json).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/cli.hpp"
+#include "transport_workloads.hpp"
+
+#ifndef IW_BENCH_BASELINE_DIR
+#define IW_BENCH_BASELINE_DIR "bench/baselines"
+#endif
+
+namespace {
+
+using namespace iw;
+using namespace iw::bench_transport;
+
+struct Baseline {
+  std::string mode;
+  double geomean_speedup = 0.0;
+};
+
+/// Pulls the two fields this bench needs out of a baseline JSON (the
+/// checked-in BENCH_trace_baseline.json, or any BENCH_transport.json via
+/// --baseline). Deliberately a string scan, not a JSON parser: both files
+/// have a fixed generated layout and may carry extra summary fields, so
+/// only the stable keys are read.
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read baseline: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const auto field = [&](const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = text.find(needle);
+    if (pos == std::string::npos)
+      throw std::runtime_error("baseline " + path + " has no \"" + key +
+                               "\" field");
+    return text.substr(pos + needle.size());
+  };
+
+  Baseline b;
+  b.geomean_speedup = std::stod(field("geomean_speedup"));
+  std::string mode = field("mode");
+  const auto open = mode.find('"');
+  const auto close = mode.find('"', open + 1);
+  if (open == std::string::npos || close == std::string::npos)
+    throw std::runtime_error("baseline " + path + ": malformed \"mode\"");
+  b.mode = mode.substr(open + 1, close - open - 1);
+  return b;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+struct TraceComparison {
+  std::string name;
+  Measurement naive;     ///< best rep (throughput reporting)
+  Measurement disarmed;  ///< best rep (throughput reporting)
+  Measurement armed;     ///< best rep (throughput reporting)
+  // One entry per rep, each a ratio of measurements taken back-to-back.
+  // On a machine with drifting background load, best-of-each-side ratios
+  // are unstable (the two bests can come from different contention
+  // regimes); paired ratios see the same regime in numerator and
+  // denominator, and the median rejects the reps where interference
+  // landed mid-pair.
+  std::vector<double> rep_speedups;      ///< disarmed/naive, paired
+  std::vector<double> rep_armed_costs;   ///< disarmed/armed, paired
+  [[nodiscard]] double speedup() const { return median(rep_speedups); }
+  /// Armed slowdown relative to disarmed, in percent (positive = slower).
+  [[nodiscard]] double armed_overhead_pct() const {
+    return (median(rep_armed_costs) - 1.0) * 100.0;
+  }
+};
+
+/// The perf_transport protocol-realism cert, with the tracer optionally
+/// armed: two warm runs of a NIC-backlogging burst and a credit-starved
+/// burst must not grow a transport pool.
+bool protocol_zero_alloc(int ranks, int steps, obs::Tracer* tracer) {
+  Workload nic_wl = make_eager_storm(ranks, steps);
+  nic_wl.config = mpi::TransportConfig::finite_nic(2);
+  Workload credit_wl = make_unexpected_storm(ranks / 4, steps, 4);
+  credit_wl.config = mpi::TransportConfig::credit_limited(2);
+  bool clean = true;
+  for (const Workload& wl : {nic_wl, credit_wl}) {
+    FastLab lab(tracer);
+    if (tracer != nullptr) tracer->clear();
+    (void)lab.run(wl);  // warm: backlog rings and credit table size up
+    const std::uint64_t warm = lab.pool_stats().allocations;
+    if (tracer != nullptr) tracer->clear();
+    (void)lab.run(wl);
+    clean = clean && lab.pool_stats().allocations == warm;
+  }
+  return clean;
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const std::vector<TraceComparison>& comparisons,
+                const Baseline& baseline, double geomean, bool gate_applies,
+                bool zero_alloc_disarmed, bool zero_alloc_armed, bool pass) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n"
+      << "  \"bench\": \"perf_trace\",\n"
+      << "  \"mode\": \"" << mode << "\",\n"
+      << "  \"workloads\": {\n";
+  for (std::size_t i = 0; i < comparisons.size(); ++i) {
+    const TraceComparison& c = comparisons[i];
+    out << "    \"" << c.name << "\": {\n"
+        << "      \"messages\": " << c.disarmed.messages << ",\n"
+        << "      \"naive_msgs_per_sec\": " << msgs_per_sec(c.naive) << ",\n"
+        << "      \"disarmed_msgs_per_sec\": " << msgs_per_sec(c.disarmed)
+        << ",\n"
+        << "      \"armed_msgs_per_sec\": " << msgs_per_sec(c.armed) << ",\n"
+        << "      \"speedup\": " << c.speedup() << ",\n"
+        << "      \"armed_overhead_pct\": " << c.armed_overhead_pct() << "\n"
+        << "    }" << (i + 1 < comparisons.size() ? "," : "") << "\n";
+  }
+  out << "  },\n"
+      << "  \"summary\": {\n"
+      << "    \"geomean_speedup\": " << geomean << ",\n"
+      << "    \"baseline_mode\": \"" << baseline.mode << "\",\n"
+      << "    \"baseline_geomean_speedup\": " << baseline.geomean_speedup
+      << ",\n"
+      << "    \"disarmed_overhead_pct\": "
+      << (1.0 - geomean / baseline.geomean_speedup) * 100.0 << ",\n"
+      << "    \"max_allowed_overhead_pct\": 2.0,\n"
+      << "    \"overhead_gate_applied\": " << (gate_applies ? "true" : "false")
+      << ",\n"
+      << "    \"protocol_zero_alloc_disarmed\": "
+      << (zero_alloc_disarmed ? "true" : "false") << ",\n"
+      << "    \"protocol_zero_alloc_armed\": "
+      << (zero_alloc_armed ? "true" : "false") << ",\n"
+      << "    \"pass\": " << (pass ? "true" : "false") << "\n  }\n}\n";
+}
+
+int bench_main(int argc, char** argv) {
+  if (const int rc = bench::refuse_if_instrumented("perf_trace")) return rc;
+  const Cli cli(argc, argv);
+  cli.allow_only({"json", "out", "quick", "reps", "ranks", "steps",
+                  "baseline"});
+  const bool quick = cli.has("quick");
+  const int reps =
+      static_cast<int>(cli.get_or("reps", std::int64_t{quick ? 3 : 9}));
+  const int ranks =
+      static_cast<int>(cli.get_or("ranks", std::int64_t{quick ? 32 : 64}));
+  const int steps =
+      static_cast<int>(cli.get_or("steps", std::int64_t{quick ? 60 : 300}));
+  const std::string out_path =
+      cli.get("json").value_or(cli.get_or("out", "BENCH_trace.json"));
+  const std::string baseline_path = cli.get_or(
+      "baseline",
+      std::string{IW_BENCH_BASELINE_DIR "/BENCH_trace_baseline.json"});
+
+  bench::print_header(
+      "perf_trace",
+      "flight-recorder overhead: fast/naive speedup with the tracer "
+      "compiled in (disarmed and armed) vs the pre-tracer baseline");
+
+  const Baseline baseline = load_baseline(baseline_path);
+  const std::string mode = quick ? "quick" : "full";
+  // A quick run measures different workload sizes than the (full) baseline,
+  // so the 2% gate only binds when the modes match.
+  const bool gate_applies = mode == baseline.mode;
+  if (!gate_applies)
+    std::cout << "note: run mode '" << mode << "' != baseline mode '"
+              << baseline.mode
+              << "'; reporting the overhead ratio without gating it\n\n";
+
+  const net::FabricProfile fabric = net::FabricProfile::infiniband_qdr();
+  std::vector<Workload> workloads;
+  workloads.push_back(make_eager_storm(ranks, steps * 2));
+  workloads.push_back(make_rendezvous_pipeline(ranks / 2, steps));
+  workloads.push_back(make_unexpected_storm(ranks / 4, steps, 4));
+
+  obs::Tracer tracer;
+  std::vector<TraceComparison> comparisons;
+  for (const Workload& wl : workloads) {
+    TraceComparison c;
+    c.name = wl.name;
+    // Interleave naive / disarmed / armed within each rep so each rep's
+    // ratios are paired under the same machine conditions; keep the best
+    // rep of each for throughput reporting.
+    FastLab disarmed_lab;
+    FastLab armed_lab(&tracer);
+    for (int r = 0; r < reps; ++r) {
+      const Measurement naive_m = measure([&] {
+        return naive::run(wl.topo, fabric, naive::options_from(wl.config),
+                          wl.programs);
+      });
+      const Measurement disarmed_m = measure([&] { return disarmed_lab.run(wl); });
+      tracer.clear();
+      const Measurement armed_m = measure([&] { return armed_lab.run(wl); });
+      if (naive_m.seconds < c.naive.seconds) c.naive = naive_m;
+      if (disarmed_m.seconds < c.disarmed.seconds) c.disarmed = disarmed_m;
+      if (armed_m.seconds < c.armed.seconds) c.armed = armed_m;
+      c.rep_speedups.push_back(msgs_per_sec(disarmed_m) /
+                               msgs_per_sec(naive_m));
+      c.rep_armed_costs.push_back(msgs_per_sec(disarmed_m) /
+                                  msgs_per_sec(armed_m));
+    }
+    if (c.disarmed.messages != c.naive.messages ||
+        c.armed.messages != c.naive.messages)
+      throw std::logic_error("A/B message counts diverged on " + wl.name);
+    comparisons.push_back(std::move(c));
+    const TraceComparison& done = comparisons.back();
+    std::cout << done.name << ": naive " << msgs_per_sec(done.naive) / 1e6
+              << " Mmsg/s, disarmed " << msgs_per_sec(done.disarmed) / 1e6
+              << " Mmsg/s (speedup " << done.speedup() << "x), armed "
+              << msgs_per_sec(done.armed) / 1e6 << " Mmsg/s (+"
+              << done.armed_overhead_pct() << "% overhead)\n";
+  }
+
+  double log_sum = 0.0;
+  double min_speedup = std::numeric_limits<double>::infinity();
+  for (const TraceComparison& c : comparisons) {
+    log_sum += std::log(c.speedup());
+    min_speedup = std::min(min_speedup, c.speedup());
+  }
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(comparisons.size()));
+  const double overhead_pct =
+      (1.0 - geomean / baseline.geomean_speedup) * 100.0;
+
+  const bool zero_alloc_disarmed = protocol_zero_alloc(ranks, steps, nullptr);
+  const bool zero_alloc_armed = protocol_zero_alloc(ranks, steps, &tracer);
+
+  std::cout << "\ngeomean disarmed speedup: " << geomean << "x (baseline "
+            << baseline.geomean_speedup << "x, disarmed overhead "
+            << overhead_pct << "%, limit 2%"
+            << (gate_applies ? ")" : ", not gated: mode mismatch)") << "\n"
+            << "protocol zero-alloc, tracer disarmed: "
+            << (zero_alloc_disarmed ? "yes" : "NO") << "\n"
+            << "protocol zero-alloc, tracer armed:    "
+            << (zero_alloc_armed ? "yes" : "NO") << "\n";
+
+  const bool overhead_ok =
+      !gate_applies || geomean >= 0.98 * baseline.geomean_speedup;
+  const bool pass = overhead_ok && min_speedup >= 1.0 && zero_alloc_disarmed &&
+                    zero_alloc_armed;
+
+  write_json(out_path, mode, comparisons, baseline, geomean, gate_applies,
+             zero_alloc_disarmed, zero_alloc_armed, pass);
+  std::cout << "wrote " << out_path << "\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return iw::bench::guarded_main(bench_main, argc, argv);
+}

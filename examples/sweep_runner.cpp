@@ -16,7 +16,21 @@
 // to the whole campaign. An N-thread run writes byte-identical output to
 // the single-threaded run: point seeds are fixed at expansion and records
 // are delivered to the sinks in point order.
+//
+// Observability:
+//   --progress             live status line (done/total, elapsed, ETA,
+//                          points/s); silent when stdout is not a TTY or
+//                          under --quiet
+//   --metrics-json=m.json  unified metrics snapshot of the campaign
+//   --trace=<scenario:point>   replay one expanded point with the protocol
+//                          flight recorder armed and write a Chrome-trace
+//                          JSON (chrome://tracing, Perfetto); --trace-out
+//                          overrides the output path
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -24,6 +38,9 @@
 #include <string>
 #include <vector>
 
+#include "core/trace_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "sweep/axes.hpp"
@@ -45,18 +62,77 @@ void print_catalog() {
                "[--csv=out.csv] [--jsonl=out.jsonl]\n";
 }
 
+/// The scenario's spec with every CLI override applied (shared between the
+/// campaign path and --trace single-point replay, so a traced point sees
+/// exactly the campaign's expansion).
+sweep::SweepSpec scenario_spec(const sweep::Scenario& scenario,
+                               const Cli& cli) {
+  sweep::SweepSpec spec = scenario.spec;
+  sweep::apply_axis_overrides(spec, cli);
+  spec.steps = static_cast<int>(
+      cli.get_or("steps", static_cast<std::int64_t>(spec.steps)));
+  spec.campaign_seed = static_cast<std::uint64_t>(cli.get_or(
+      "seed", static_cast<std::int64_t>(spec.campaign_seed)));
+  return spec;
+}
+
+/// --trace=<scenario:point>: replays one expanded point with the flight
+/// recorder armed and writes a Chrome-trace JSON.
+int run_traced_point(const std::string& arg, const Cli& cli) {
+  const auto colon = arg.find(':');
+  if (colon == std::string::npos || colon + 1 == arg.size())
+    throw std::runtime_error("--trace wants <scenario>:<point-index>");
+  const std::string name = arg.substr(0, colon);
+  const sweep::Scenario* scenario = sweep::find_scenario(name);
+  if (scenario == nullptr)
+    throw std::runtime_error("--trace: unknown scenario '" + name + "'");
+  std::size_t index = 0;
+  try {
+    index = std::stoul(arg.substr(colon + 1));
+  } catch (const std::logic_error&) {
+    throw std::runtime_error("--trace: bad point index in '" + arg + "'");
+  }
+  const auto points = sweep::expand(scenario_spec(*scenario, cli));
+  if (index >= points.size())
+    throw std::runtime_error(
+        "--trace: point " + std::to_string(index) + " out of range ('" +
+        name + "' expands to " + std::to_string(points.size()) + " points)");
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  core::WaveExperiment exp = points[index].exp;
+  exp.cluster.tracer = &tracer;
+  exp.cluster.metrics = &metrics;
+  const core::WaveResult result = core::run_wave_experiment(exp);
+
+  const std::string out = cli.get_or(
+      "trace-out", name + "_point" + std::to_string(index) + ".trace.json");
+  core::write_chrome_trace(result.trace, tracer.drain_ordered(), out);
+  std::cout << "traced '" << name << "' point " << index << ": "
+            << tracer.size() << " protocol records (" << tracer.dropped()
+            << " dropped)\nwrote Chrome trace: " << out << '\n'
+            << "metrics: " << metrics.snapshot().to_json() << '\n';
+  return 0;
+}
+
 int sweep_main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  std::vector<std::string> known_flags = {"scenario", "list", "threads",
-                                          "csv",      "jsonl", "steps",
-                                          "seed",     "quiet"};
+  std::vector<std::string> known_flags = {
+      "scenario", "list",  "threads",  "csv",          "jsonl",
+      "steps",    "seed",  "quiet",    "progress",     "metrics-json",
+      "trace",    "trace-out"};
   for (std::string& flag : sweep::axis_cli_flags())
     known_flags.push_back(std::move(flag));
   cli.allow_only(known_flags);
 
-  if (cli.has("list") || !cli.has("scenario")) {
+  if (cli.has("list")) {
     print_catalog();
-    return cli.has("list") ? 0 : 2;
+    return 0;
+  }
+  if (const auto traced = cli.get("trace")) return run_traced_point(*traced, cli);
+  if (!cli.has("scenario")) {
+    print_catalog();
+    return 2;
   }
 
   const std::string name = cli.get_or("scenario", std::string{});
@@ -68,12 +144,7 @@ int sweep_main(int argc, char** argv) {
     return 2;
   }
 
-  sweep::SweepSpec spec = scenario->spec;
-  sweep::apply_axis_overrides(spec, cli);
-  spec.steps = static_cast<int>(
-      cli.get_or("steps", static_cast<std::int64_t>(spec.steps)));
-  spec.campaign_seed = static_cast<std::uint64_t>(cli.get_or(
-      "seed", static_cast<std::int64_t>(spec.campaign_seed)));
+  const sweep::SweepSpec spec = scenario_spec(*scenario, cli);
 
   const int threads = static_cast<int>(cli.get_or("threads", std::int64_t{1}));
   const bool quiet = cli.has("quiet");
@@ -94,14 +165,38 @@ int sweep_main(int argc, char** argv) {
   options.threads = threads;
   if (csv) options.sinks.push_back(csv.get());
   if (jsonl) options.sinks.push_back(jsonl.get());
-  if (!quiet)
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  // --progress upgrades the every-10-points stderr counter to a live status
+  // line; it stays silent when stdout is not a TTY (piped/redirected runs)
+  // or under --quiet, so machine-read output never sees control characters.
+  const bool live_progress =
+      cli.has("progress") && !quiet && ::isatty(STDOUT_FILENO) != 0;
+  if (live_progress) {
+    const auto begin = std::chrono::steady_clock::now();
+    options.on_progress = [begin](std::size_t done, std::size_t total) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - begin)
+                                 .count();
+      const double rate =
+          elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+      const double eta =
+          rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+      std::cout << "\r  " << done << '/' << total << " points | elapsed "
+                << fmt_fixed(elapsed, 1) << " s | eta " << fmt_fixed(eta, 1)
+                << " s | " << fmt_fixed(rate, 1) << " points/s   ";
+      if (done == total) std::cout << '\n';
+      std::cout << std::flush;
+    };
+  } else if (!quiet) {
     options.on_progress = [](std::size_t done, std::size_t total) {
       if (done == total || done % 10 == 0)
         std::cerr << "\r  " << done << "/" << total << " points" << std::flush;
     };
+  }
 
   const sweep::CampaignResult result = sweep::run_campaign(points, options);
-  if (!quiet) std::cerr << '\n';
+  if (!quiet && !live_progress) std::cerr << '\n';
 
   std::cout << '\n'
             << sweep::render_summary(result.records) << '\n'
@@ -110,6 +205,13 @@ int sweep_main(int argc, char** argv) {
             << fmt_fixed(result.points_per_sec(), 1) << " points/s)\n";
   if (csv_path) std::cout << "wrote CSV:   " << *csv_path << '\n';
   if (jsonl_path) std::cout << "wrote JSONL: " << *jsonl_path << '\n';
+  if (const auto metrics_path = cli.get("metrics-json")) {
+    std::ofstream out(*metrics_path);
+    if (!out)
+      throw std::runtime_error("cannot open metrics output: " + *metrics_path);
+    out << metrics.snapshot().to_json() << '\n';
+    std::cout << "wrote metrics: " << *metrics_path << '\n';
+  }
   return 0;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "support/error.hpp"
 
 namespace iw::core {
@@ -126,11 +128,24 @@ mpi::Trace Cluster::run(const std::vector<mpi::Program>& programs,
   for (auto& proc : processes_) process_table_.push_back(proc.get());
   transport_.set_processes(process_table_.data());
 
+  // Flight-recorder wiring: one pointer per layer, null in untraced runs.
+  engine_.set_tracer(config_.tracer);
+  transport_.set_tracer(config_.tracer);
+  if (config_.tracer != nullptr)
+    for (auto& proc : processes_) proc->set_tracer(config_.tracer);
+
   for (auto& proc : processes_) proc->start();
   engine_.run();
 
   for (const auto& proc : processes_)
     IW_CHECK(proc->done(), "deadlock: a process never finished its program");
+
+  if (config_.metrics != nullptr) {
+    config_.metrics->publish(engine_);
+    config_.metrics->publish(transport_);
+    for (const auto& domain : domains_) config_.metrics->publish(*domain);
+    if (config_.tracer != nullptr) config_.metrics->publish(*config_.tracer);
+  }
 
   return trace;
 }

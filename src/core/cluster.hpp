@@ -30,6 +30,11 @@
 #include "noise/system_profiles.hpp"
 #include "sim/engine.hpp"
 
+namespace iw::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace iw::obs
+
 namespace iw::core {
 
 /// Socket-level memory system parameters, enabling OpMemWork phases.
@@ -48,6 +53,15 @@ struct ClusterConfig {
   mpi::TransportConfig transport;
   std::optional<MemorySystem> memory;  ///< required for memory-bound work
   std::uint64_t seed = 0x1D1E57A7Eull;  // "idle state"
+  /// Optional protocol flight recorder, armed through Engine, Transport and
+  /// every Process for the run. Null (the default) costs nothing on the hot
+  /// path. Non-owning; must outlive the run.
+  obs::Tracer* tracer = nullptr;
+  /// Optional metrics registry; when set, run() publishes the engine,
+  /// transport, bandwidth-domain and tracer counters into it after the run.
+  /// Non-owning; must outlive the run. Not synchronized — concurrent
+  /// harnesses (sweep workers) publish through their own collector instead.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Cluster {

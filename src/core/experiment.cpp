@@ -51,11 +51,16 @@ mpi::WireProtocol protocol_for(const ClusterConfig& config,
                                            config.fabric.eager_limit_bytes);
 }
 
-/// Demotion counter for the sweep observable: eager-sized sends the
-/// transport pushed to rendezvous (finite buffer or exhausted credits).
-std::uint64_t eager_demotions_of(const Cluster& cluster) {
+/// Copies the per-run transport counters into the result: the demotion
+/// observable (eager-sized sends pushed to rendezvous by a finite buffer or
+/// exhausted credits) plus the IW_METRIC_COLUMNS protocol counters.
+void reduce_transport_stats(WaveResult& result, const Cluster& cluster) {
   const auto& s = cluster.transport_stats();
-  return s.eager_fallbacks + s.credit_stalls;
+  result.eager_demotions = s.eager_fallbacks + s.credit_stalls;
+  result.nic_backlogged = s.nic_backlogged;
+  result.deferred_pushes = s.deferred_pushes;
+  result.unexpected_eager = s.unexpected_eager;
+  result.unexpected_rts = s.unexpected_rts;
 }
 
 WaveResult run_grid_experiment(Cluster& cluster, const WaveExperiment& exp) {
@@ -67,7 +72,7 @@ WaveResult run_grid_experiment(Cluster& cluster, const WaveExperiment& exp) {
                     Duration::zero(), 0.0, SimTime::zero(),
                     cluster.events_processed(),
                     cluster.peak_events_pending()};
-  result.eager_demotions = eager_demotions_of(cluster);
+  reduce_transport_stats(result, cluster);
   if (exp.delays.empty()) return result;
 
   const int inj_rank = exp.delays.front().rank;
@@ -130,7 +135,7 @@ WaveResult run_ring_experiment(Cluster& cluster, const WaveExperiment& exp) {
                     {}, {}, mpi::WireProtocol::eager, Duration::zero(), 0.0,
                     SimTime::zero(), cluster.events_processed(),
                     cluster.peak_events_pending()};
-  result.eager_demotions = eager_demotions_of(cluster);
+  reduce_transport_stats(result, cluster);
 
   result.protocol = protocol_for(exp.cluster, exp.ring.msg_bytes);
 

@@ -54,6 +54,15 @@ struct WaveResult {
   /// finite-buffer fallbacks plus credit-window stalls. Zero under the
   /// ideal configuration; a sweep observable for the flow-control axes.
   std::uint64_t eager_demotions = 0;
+  /// Per-run transport protocol counters (Transport::Stats fields), named
+  /// after the IW_METRIC_COLUMNS registry entries that turn them into
+  /// sweep-record columns: injections parked behind a full NIC queue,
+  /// rendezvous pushes deferred on a busy NIC, and unexpected eager/RTS
+  /// arrivals (receive posted after the message landed).
+  std::uint64_t nic_backlogged = 0;
+  std::uint64_t deferred_pushes = 0;
+  std::uint64_t unexpected_eager = 0;
+  std::uint64_t unexpected_rts = 0;
 };
 
 /// Runs the experiment. If `delays` is empty the wave analyses stay empty.

@@ -31,6 +31,8 @@ void BandwidthDomain::reset(double total_Bps, double per_core_Bps) {
   last_update_ = SimTime::zero();
   next_id_ = 0;
   schedule_generation_ = 0;
+  jobs_submitted_ = 0;
+  bytes_submitted_ = 0;
 }
 
 double BandwidthDomain::current_rate() const {
@@ -46,6 +48,8 @@ Duration BandwidthDomain::solo_time(std::int64_t bytes) const {
 
 void BandwidthDomain::submit(std::int64_t bytes, sim::EventFn done) {
   IW_REQUIRE(bytes >= 0, "job size must be non-negative");
+  ++jobs_submitted_;
+  bytes_submitted_ += static_cast<std::uint64_t>(bytes);
   advance_progress();
   jobs_.push_back(
       Job{static_cast<double>(bytes), std::move(done), next_id_++});

@@ -43,6 +43,13 @@ class BandwidthDomain {
   [[nodiscard]] double total_Bps() const { return total_Bps_; }
   [[nodiscard]] double per_core_Bps() const { return per_core_Bps_; }
 
+  /// Lifetime submission counters for the metrics registry (cleared by
+  /// reset(), so one run's publish adds exactly that run's traffic).
+  [[nodiscard]] std::uint64_t jobs_submitted() const { return jobs_submitted_; }
+  [[nodiscard]] std::uint64_t bytes_submitted() const {
+    return bytes_submitted_;
+  }
+
   /// Current per-job progress rate in bytes/s.
   [[nodiscard]] double current_rate() const;
 
@@ -66,6 +73,8 @@ class BandwidthDomain {
   SimTime last_update_ = SimTime::zero();
   std::uint64_t next_id_ = 0;
   std::uint64_t schedule_generation_ = 0;  ///< invalidates stale events
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t bytes_submitted_ = 0;
 };
 
 }  // namespace iw::memory

@@ -21,6 +21,7 @@ void Process::reset(Trace& trace) {
   trace_ = &trace;
   program_ = nullptr;
   domain_ = nullptr;
+  tracer_ = nullptr;
   noise_.clear();
   pc_ = 0;
   next_step_ = 0;
@@ -142,6 +143,8 @@ void Process::resume() {
       }
       blocked_ = true;
       wait_begin_ = engine_.now();
+      if (tracer_ != nullptr) [[unlikely]]
+        tracer_->record(wait_begin_, obs::TraceEvent::kWaitBegin, rank_);
       schedule_timed_wake();
       return;
     }
@@ -186,6 +189,8 @@ void Process::schedule_timed_wake() {
 void Process::finish_wait() {
   blocked_ = false;
   const SimTime now = engine_.now();
+  if (tracer_ != nullptr) [[unlikely]]
+    tracer_->record(now, obs::TraceEvent::kWaitEnd, rank_);
   if (now > wait_begin_) {
     trace_->add_segment(rank_, Segment{SegKind::wait, wait_begin_, now,
                                        next_step_ - 1, Duration::zero()});

@@ -42,6 +42,11 @@ class Process {
   /// May stay null if the program has no memory-bound phases.
   void set_domain(memory::BandwidthDomain* domain) { domain_ = domain; }
 
+  /// Arms (or with nullptr disarms) the protocol flight recorder: the
+  /// process records wait_begin/wait_end around every blocking WaitAll.
+  /// Cleared by reset(); harnesses re-arm per run.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Re-arms the process for another run: rebinds the trace, clears the
   /// program, noise sources, domain, and interpreter state. The request
   /// vector keeps its capacity.
@@ -91,6 +96,7 @@ class Process {
   Trace* trace_;
   const Program* program_ = nullptr;
   memory::BandwidthDomain* domain_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   struct NoiseSource {
     std::unique_ptr<noise::NoiseModel> model;

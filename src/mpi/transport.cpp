@@ -77,6 +77,7 @@ void Transport::reconfigure(const net::FabricProfile& fabric,
   on_complete_ = nullptr;
   domains_by_rank_.clear();
   use_domains_ = false;
+  tracer_ = nullptr;
   stats_ = Stats{};
 
   // Post-condition: a reconfigured transport holds no protocol state — the
@@ -357,6 +358,13 @@ void Transport::backlog_push(int src, BacklogEntry entry) {
                "throttle the workload");
   ++stats_.nic_backlogged;
   IW_AUDIT(++nic_backlog_total_);
+  if (entry.kind == BacklogEntry::Kind::eager) {
+    trace(obs::TraceEvent::kNicPark, src, entry.envelope.dst,
+          entry.envelope.bytes);
+  } else {
+    trace(obs::TraceEvent::kNicPark, src, rdv_slab_[entry.slot].envelope.dst,
+          rdv_slab_[entry.slot].envelope.bytes, entry.slot);
+  }
   s.nic_backlog.push_back(entry);
 }
 
@@ -365,6 +373,7 @@ void Transport::on_nic_drain(int src) {
   IW_ASSERT(s.nic_inflight > 0, "NIC drain without an in-flight injection");
   --s.nic_inflight;
   IW_AUDIT(--nic_inflight_total_);
+  trace(obs::TraceEvent::kNicDrain, src);
 
   // Dispatch backlogged sends in FIFO order while budget remains. Each
   // dispatch is itself a counted injection, so a depth-1 NIC re-posts
@@ -415,6 +424,7 @@ std::optional<Duration> Transport::post_send(int src, int dst, int tag,
   IW_REQUIRE(src != dst, "self-sends are not modeled");
   check_ranks(src, dst);
   const net::LinkClass cls = topo_.classify(src, dst);
+  trace(obs::TraceEvent::kPostSend, src, dst, bytes);
 
   // Protocol decision, with the dynamic fallbacks split out so each gets
   // its own counter (same order as protocol_for, which must stay in step).
@@ -440,6 +450,7 @@ std::optional<Duration> Transport::post_send(int src, int dst, int tag,
     if (track_credits_) {
       ++eager_credits_[backlog_index(src, dst)];
       IW_AUDIT(++credits_outstanding_);
+      trace(obs::TraceEvent::kCreditCharge, src, dst, bytes);
     }
     if (nic_limited_ && nic_path(cls, src) && nic_saturated(state(src))) {
       backlog_push(src, BacklogEntry{BacklogEntry::Kind::eager,
@@ -452,6 +463,8 @@ std::optional<Duration> Transport::post_send(int src, int dst, int tag,
 
   if (buffer_full) ++stats_.eager_fallbacks;
   if (no_credit) ++stats_.credit_stalls;
+  if (buffer_full || no_credit)
+    trace(obs::TraceEvent::kCreditDemotion, src, dst, bytes);
   send_rendezvous(cls, src, dst, tag, bytes, request);
   return std::nullopt;
 }
@@ -460,6 +473,7 @@ Duration Transport::send_eager(net::LinkClass cls, int src, int dst, int tag,
                                std::int64_t bytes) {
   const Duration overhead = fabric_.params(cls).overhead;
   const Envelope envelope{src, dst, tag, bytes};
+  trace(obs::TraceEvent::kEagerSend, src, dst, bytes);
   // The arrival closure carries the link overhead, so a matched arrival
   // never re-classifies the link. The injection is counted against the
   // finite NIC budget (a no-op on the memory path and the ideal NIC).
@@ -473,9 +487,12 @@ Duration Transport::send_eager(net::LinkClass cls, int src, int dst, int tag,
 
 void Transport::on_eager_arrival(const Envelope& envelope, Duration overhead) {
   RankState& s = state(envelope.dst);
+  trace(obs::TraceEvent::kEagerRecv, envelope.dst, envelope.src,
+        envelope.bytes);
   auto& q = s.posted_recvs;
   for (std::size_t i = 0; i < q.size(); ++i) {
     if (!envelope.matches(q[i].src, q[i].tag)) continue;
+    trace(obs::TraceEvent::kMatch, envelope.dst, envelope.src, envelope.bytes);
     complete(envelope.dst, q[i].request, overhead);
     if (track_backlog_)
       eager_backlog_[backlog_index(envelope.src, envelope.dst)] -=
@@ -485,6 +502,8 @@ void Transport::on_eager_arrival(const Envelope& envelope, Duration overhead) {
     return;
   }
   ++stats_.unexpected_eager;
+  trace(obs::TraceEvent::kUnexpectedEager, envelope.dst, envelope.src,
+        envelope.bytes);
   s.unexpected_eager.push_back(envelope);
 }
 
@@ -508,6 +527,8 @@ void Transport::send_rendezvous(net::LinkClass cls, int src, int dst, int tag,
 void Transport::send_rts(net::LinkClass cls, std::uint32_t slot) {
   assert_rdv_live(slot, "send_rts");
   const int src = rdv_slab_[slot].envelope.src;
+  trace(obs::TraceEvent::kRtsSend, src, rdv_slab_[slot].envelope.dst,
+        rdv_slab_[slot].envelope.bytes, slot);
   const SimTime rts_arrival = nic_limited_
                                   ? inject_counted(fabric_.params(cls), src, 0)
                                   : inject(fabric_.params(cls), src, 0);
@@ -518,10 +539,14 @@ void Transport::on_rts_arrival(std::uint32_t slot) {
   assert_rdv_live(slot, "on_rts_arrival");
   const Envelope envelope = rdv_slab_[slot].envelope;
   RankState& s = state(envelope.dst);
+  trace(obs::TraceEvent::kRtsRecv, envelope.dst, envelope.src, envelope.bytes,
+        slot);
   auto& q = s.posted_recvs;
   for (std::size_t i = 0; i < q.size(); ++i) {
     if (!envelope.matches(q[i].src, q[i].tag)) continue;
     const RequestId recv_request = q[i].request;
+    trace(obs::TraceEvent::kMatch, envelope.dst, envelope.src, envelope.bytes,
+          slot);
     q.erase(i);
     if (flavor_ == RendezvousFlavor::rdma_get) {
       issue_get(slot, recv_request);
@@ -531,6 +556,8 @@ void Transport::on_rts_arrival(std::uint32_t slot) {
     return;
   }
   ++stats_.unexpected_rts;
+  trace(obs::TraceEvent::kUnexpectedRts, envelope.dst, envelope.src,
+        envelope.bytes, slot);
   s.unexpected_rts.push_back(RtsRecord{slot, envelope});
 }
 
@@ -538,6 +565,8 @@ void Transport::issue_cts(std::uint32_t slot, RequestId recv_request) {
   assert_rdv_live(slot, "issue_cts");
   RdvSend& send = rdv_slab_[slot];
   send.recv_request = recv_request;
+  trace(obs::TraceEvent::kCtsSend, send.envelope.dst, send.envelope.src,
+        send.envelope.bytes, slot);
   // The CTS travels dst -> src; the link class is symmetric. Under
   // rdma_put this same control message is the RTR carrying the target
   // address and remote key. Protocol responses ride reserved slots and are
@@ -550,6 +579,8 @@ void Transport::issue_cts(std::uint32_t slot, RequestId recv_request) {
 void Transport::on_cts_arrival(std::uint32_t slot) {
   assert_rdv_live(slot, "on_cts_arrival");
   RankState& s = state(rdv_slab_[slot].envelope.src);
+  trace(obs::TraceEvent::kCtsRecv, rdv_slab_[slot].envelope.src,
+        rdv_slab_[slot].envelope.dst, rdv_slab_[slot].envelope.bytes, slot);
   IW_ASSERT(s.outstanding_handshakes > 0,
             "CTS without an outstanding handshake");
   --s.outstanding_handshakes;
@@ -590,17 +621,20 @@ void Transport::push_data(std::uint32_t slot) {
 
   const int src = send.envelope.src;
   const int dst = send.envelope.dst;
+  const std::int64_t bytes = send.envelope.bytes;
   const RequestId send_request = send.send_request;
   const RequestId recv_request = send.recv_request;
   const net::LinkClass cls = topo_.classify(src, dst);
   const Duration overhead = fabric_.params(cls).overhead;
+  trace(obs::TraceEvent::kPushSend, src, dst, bytes);
   // The sender is done once the payload is fully handed off; the receiver
   // when it has arrived (plus the per-message overhead).
-  transfer(cls, src, dst, send.envelope.bytes,
+  transfer(cls, src, dst, bytes,
            [this, src, send_request] {
              complete(src, send_request, Duration::zero());
            },
-           [this, dst, recv_request, overhead] {
+           [this, src, dst, bytes, recv_request, overhead] {
+             trace(obs::TraceEvent::kPushRecv, dst, src, bytes);
              complete(dst, recv_request, overhead);
            });
 }
@@ -617,6 +651,7 @@ void Transport::put_data(std::uint32_t slot) {
   const RequestId send_request = send.send_request;
   const RequestId recv_request = send.recv_request;
   const net::LinkClass cls = topo_.classify(src, dst);
+  trace(obs::TraceEvent::kPutSend, src, dst, send.envelope.bytes);
   // One-sided put: the payload lands straight in the receive buffer (no
   // arrival continuation, no receive-side overhead). The sender completes
   // at hand-off and chases the payload with a FIN control message — the
@@ -624,9 +659,11 @@ void Transport::put_data(std::uint32_t slot) {
   transfer(cls, src, dst, send.envelope.bytes,
            [this, src, dst, send_request, recv_request, cls] {
              complete(src, send_request, Duration::zero());
+             trace(obs::TraceEvent::kFinSend, src, dst);
              const SimTime fin_arrival =
                  inject(fabric_.params(cls), src, 0);
-             engine_.at(fin_arrival, [this, dst, recv_request] {
+             engine_.at(fin_arrival, [this, src, dst, recv_request] {
+               trace(obs::TraceEvent::kFinRecv, dst, src);
                complete(dst, recv_request, Duration::zero());
              });
            },
@@ -637,6 +674,8 @@ void Transport::issue_get(std::uint32_t slot, RequestId recv_request) {
   assert_rdv_live(slot, "issue_get");
   RdvSend& send = rdv_slab_[slot];
   send.recv_request = recv_request;
+  trace(obs::TraceEvent::kGetSend, send.envelope.dst, send.envelope.src,
+        send.envelope.bytes, slot);
   // The GET request travels dst -> src carrying the rkey the RTS
   // advertised; like the CTS it is a budget-exempt protocol response.
   const SimTime get_arrival =
@@ -658,19 +697,23 @@ void Transport::on_get_arrival(std::uint32_t slot) {
 
   const int src = send.envelope.src;
   const int dst = send.envelope.dst;
+  const std::int64_t bytes = send.envelope.bytes;
   const RequestId send_request = send.send_request;
   const RequestId recv_request = send.recv_request;
   const net::LinkClass cls = topo_.classify(src, dst);
   // The source NIC streams the payload back without CPU involvement: the
   // receiver completes at arrival (no overhead) and returns a FIN that
   // retires the sender's buffer.
-  transfer(cls, src, dst, send.envelope.bytes,
+  transfer(cls, src, dst, bytes,
            /*on_injected=*/nullptr,
-           [this, src, dst, send_request, recv_request, cls] {
+           [this, src, dst, bytes, send_request, recv_request, cls] {
+             trace(obs::TraceEvent::kGetRecv, dst, src, bytes);
              complete(dst, recv_request, Duration::zero());
+             trace(obs::TraceEvent::kFinSend, dst, src);
              const SimTime fin_arrival =
                  inject(fabric_.params(cls), dst, 0);
-             engine_.at(fin_arrival, [this, src, send_request] {
+             engine_.at(fin_arrival, [this, src, dst, send_request] {
+               trace(obs::TraceEvent::kFinRecv, src, dst);
                complete(src, send_request, Duration::zero());
              });
            });
@@ -681,12 +724,14 @@ void Transport::post_recv(int dst, int src, int tag, std::int64_t bytes,
   IW_REQUIRE(src != dst, "self-receives are not modeled");
   check_ranks(src, dst);
   RankState& s = state(dst);
+  trace(obs::TraceEvent::kPostRecv, dst, src, bytes);
 
   // 1) Already-arrived eager payload?
   auto& ue = s.unexpected_eager;
   for (std::size_t i = 0; i < ue.size(); ++i) {
     if (!ue[i].matches(src, tag)) continue;
     const auto& p = link(src, dst);
+    trace(obs::TraceEvent::kMatch, dst, src, ue[i].bytes);
     complete(dst, request, p.overhead);
     if (track_backlog_)
       eager_backlog_[backlog_index(src, dst)] -= ue[i].bytes;
@@ -700,6 +745,7 @@ void Transport::post_recv(int dst, int src, int tag, std::int64_t bytes,
   for (std::size_t i = 0; i < ur.size(); ++i) {
     if (!ur[i].envelope.matches(src, tag)) continue;
     const std::uint32_t slot = ur[i].slot;
+    trace(obs::TraceEvent::kMatch, dst, src, ur[i].envelope.bytes, slot);
     ur.erase(i);
     if (flavor_ == RendezvousFlavor::rdma_get) {
       issue_get(slot, request);

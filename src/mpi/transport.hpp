@@ -83,6 +83,7 @@
 #include "mpi/transport_config.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 #include "support/check.hpp"
 #include "support/ring_queue.hpp"
@@ -181,6 +182,27 @@ class Transport {
   [[nodiscard]] std::int64_t eager_limit() const { return eager_limit_; }
   [[nodiscard]] const TransportConfig& config() const { return config_; }
   [[nodiscard]] PoolStats pool_stats() const;
+
+  /// Arms (or with nullptr disarms) the protocol flight recorder. The only
+  /// hot-path cost while disarmed is one predicted-not-taken branch per
+  /// protocol step. Cleared by reconfigure(); harnesses re-arm per run.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Flow-control shadow levels for the metrics registry: total eager
+  /// credits currently charged and total bytes parked in finite eager
+  /// buffers, summed over all (src, dst) pairs. Zero whenever the feature
+  /// is disabled or the transport is drained.
+  [[nodiscard]] std::int64_t credits_outstanding() const {
+    std::int64_t total = 0;
+    for (const int c : eager_credits_) total += c;
+    return total;
+  }
+  [[nodiscard]] std::int64_t eager_backlog_bytes() const {
+    std::int64_t total = 0;
+    for (const std::int64_t b : eager_backlog_) total += b;
+    return total;
+  }
 
   /// Structural audit of the protocol pools (audit builds only; a no-op
   /// otherwise): rendezvous free-list integrity (on-slab, no double-free),
@@ -331,6 +353,18 @@ class Transport {
               "eager credit returned that was never taken");
     --eager_credits_[backlog_index(src, dst)];
     IW_AUDIT(--credits_outstanding_);
+    trace(obs::TraceEvent::kCreditReturn, src, dst);
+  }
+
+  /// Flight-recorder sink: one predicted branch when disarmed, one ring
+  /// store when armed. Every protocol step funnels through here; the
+  /// armed path is marked unlikely so the disarmed hot path stays dense
+  /// (records land in a cold block, record() itself is out of line).
+  void trace(obs::TraceEvent ev, int rank, int peer = -1,
+             std::int64_t bytes = 0,
+             std::uint32_t slot = obs::Tracer::kNoSlot) {
+    if (tracer_ != nullptr) [[unlikely]]
+      tracer_->record(engine_.now(), ev, rank, peer, bytes, slot);
   }
 
   [[nodiscard]] memory::BandwidthDomain* domain_of(int rank) const {
@@ -410,6 +444,8 @@ class Transport {
   std::vector<int> eager_credits_;  ///< ranks^2, in-flight msgs; credits only
   std::vector<std::uint32_t> deferred_scratch_;  ///< flush staging buffer
   std::uint64_t pool_allocations_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
 
   Stats stats_;
 };

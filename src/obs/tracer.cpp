@@ -1,0 +1,76 @@
+#include "obs/tracer.hpp"
+
+#include "support/error.hpp"
+
+namespace iw::obs {
+
+const char* to_string(TraceEvent ev) noexcept {
+  switch (ev) {
+    case TraceEvent::kRunBegin: return "run_begin";
+    case TraceEvent::kRunEnd: return "run_end";
+    case TraceEvent::kPostSend: return "post_send";
+    case TraceEvent::kPostRecv: return "post_recv";
+    case TraceEvent::kMatch: return "match";
+    case TraceEvent::kEagerSend: return "eager_send";
+    case TraceEvent::kEagerRecv: return "eager_recv";
+    case TraceEvent::kUnexpectedEager: return "unexpected_eager";
+    case TraceEvent::kRtsSend: return "rts_send";
+    case TraceEvent::kRtsRecv: return "rts_recv";
+    case TraceEvent::kUnexpectedRts: return "unexpected_rts";
+    case TraceEvent::kCtsSend: return "cts_send";
+    case TraceEvent::kCtsRecv: return "cts_recv";
+    case TraceEvent::kPushSend: return "push_send";
+    case TraceEvent::kPushRecv: return "push_recv";
+    case TraceEvent::kPutSend: return "put_send";
+    case TraceEvent::kGetSend: return "get_send";
+    case TraceEvent::kGetRecv: return "get_recv";
+    case TraceEvent::kFinSend: return "fin_send";
+    case TraceEvent::kFinRecv: return "fin_recv";
+    case TraceEvent::kNicPark: return "nic_park";
+    case TraceEvent::kNicDrain: return "nic_drain";
+    case TraceEvent::kCreditCharge: return "credit_charge";
+    case TraceEvent::kCreditReturn: return "credit_return";
+    case TraceEvent::kCreditDemotion: return "credit_demotion";
+    case TraceEvent::kWaitBegin: return "wait_begin";
+    case TraceEvent::kWaitEnd: return "wait_end";
+    case TraceEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  IW_REQUIRE(capacity > 0, "tracer ring capacity must be positive");
+  ring_.resize(capacity);
+}
+
+void Tracer::record(SimTime t, TraceEvent ev, std::int32_t rank,
+                    std::int32_t peer, std::int64_t bytes,
+                    std::uint32_t slot) noexcept {
+  TraceRecord& r = ring_[head_];
+  r.t = t;
+  r.ev = ev;
+  r.rank = rank;
+  r.peer = peer;
+  r.bytes = bytes;
+  r.slot = slot;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceRecord> Tracer::drain_ordered() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  // When the ring wrapped, the oldest record sits at head_ (the next write
+  // position); otherwise the ring starts at index 0.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace iw::obs

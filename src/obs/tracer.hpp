@@ -1,0 +1,124 @@
+// Protocol flight recorder.
+//
+// The tracer is an opt-in sink for typed protocol events. Instrumented
+// layers (Engine, Transport, Process) hold a raw `Tracer*` that is null in
+// every un-traced run: the hot-path cost of the instrumentation is then a
+// single well-predicted branch, and no obs code executes at all. When a
+// tracer is armed, each event is one store into a preallocated ring buffer
+// — no allocation, no formatting, no I/O — so the steady-state
+// zero-allocation certification holds with the recorder compiled in and
+// even with it armed.
+//
+// The ring wraps: once `capacity` records have been written the oldest are
+// overwritten and counted in `dropped()`. Exporters tolerate the resulting
+// orphan arrivals (a recv whose matching send was evicted).
+//
+// This header is included from src/sim and src/mpi hot paths, so it must
+// stay free of the banned constructs (std::function, std::unordered_map,
+// std::shared_ptr) and must not pull in heavyweight headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace iw::obs {
+
+/// Every protocol interaction the recorder distinguishes. Send/recv pairs
+/// (eager, RTS, CTS, push, get, FIN) become flow arrows in the Chrome-trace
+/// export; the rest render as instant events on the owning rank's track.
+enum class TraceEvent : std::uint8_t {
+  kRunBegin,         // engine run loop entered
+  kRunEnd,           // engine run loop drained or stopped
+  kPostSend,         // application posted a send
+  kPostRecv,         // application posted a receive
+  kMatch,            // a posted receive matched an arrived message
+  kEagerSend,        // eager payload injected at the sender
+  kEagerRecv,        // eager payload arrived at the receiver
+  kUnexpectedEager,  // eager payload arrived before the matching recv
+  kRtsSend,          // rendezvous request-to-send injected
+  kRtsRecv,          // RTS arrived at the receiver
+  kUnexpectedRts,    // RTS arrived before the matching recv
+  kCtsSend,          // clear-to-send (RTR) issued by the receiver
+  kCtsRecv,          // CTS arrived back at the sender
+  kPushSend,         // two-sided rendezvous payload left the sender
+  kPushRecv,         // two-sided rendezvous payload arrived
+  kPutSend,          // RDMA put payload left the sender
+  kGetSend,          // RDMA get issued by the receiver
+  kGetRecv,          // RDMA get payload arrived at the receiver
+  kFinSend,          // rendezvous FIN injected
+  kFinRecv,          // FIN arrived
+  kNicPark,          // injection deferred into the NIC retry backlog
+  kNicDrain,         // a parked injection drained onto the wire
+  kCreditCharge,     // an eager credit was charged for a send
+  kCreditReturn,     // an eager credit returned to the sender's pool
+  kCreditDemotion,   // credit exhaustion demoted an eager to rendezvous
+  kWaitBegin,        // rank blocked in waitall
+  kWaitEnd,          // rank unblocked
+  kCount,            // sentinel — number of event kinds
+};
+
+/// Stable lower_snake name for an event kind (used by exporters and tests).
+[[nodiscard]] const char* to_string(TraceEvent ev) noexcept;
+
+/// One recorded event. Fields that do not apply to a kind hold the neutral
+/// values (`peer` -1, `bytes` 0, `slot` kNoSlot).
+struct TraceRecord {
+  SimTime t;
+  TraceEvent ev = TraceEvent::kCount;
+  std::int32_t rank = -1;
+  std::int32_t peer = -1;
+  std::int64_t bytes = 0;
+  std::uint32_t slot = 0;
+};
+
+/// Fixed-capacity wrapping ring of TraceRecords. All storage is allocated
+/// at construction; record() never allocates.
+class Tracer {
+ public:
+  /// `slot` value meaning "no rendezvous slab slot involved".
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Default ring capacity: large enough for every catalog quick point
+  /// (tens of thousands of protocol events) at ~32 B/record.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Appends one record, overwriting the oldest when full. Never allocates.
+  /// Deliberately out of line: the call sites sit in the transport/process
+  /// hot paths guarded by a null check, and keeping the ring store out of
+  /// those functions keeps the disarmed instrumentation down to one
+  /// compare-and-branch of code footprint per site.
+  void record(SimTime t, TraceEvent ev, std::int32_t rank,
+              std::int32_t peer = -1, std::int64_t bytes = 0,
+              std::uint32_t slot = kNoSlot) noexcept;
+
+  /// Number of records currently held (≤ capacity()).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Records overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Copies the held records out in recording order (oldest first). The
+  /// only allocating operation; meant for export after a run, not hot use.
+  [[nodiscard]] std::vector<TraceRecord> drain_ordered() const;
+
+  /// Forgets all records (capacity unchanged, no allocation).
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t size_ = 0;   // records held
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace iw::obs

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "support/error.hpp"
 
 namespace iw::sim {
@@ -20,12 +21,15 @@ void Engine::run() { run_until(SimTime::max()); }
 
 void Engine::run_until(SimTime deadline) {
   stopped_ = false;
+  if (tracer_ != nullptr)
+    tracer_->record(now_, obs::TraceEvent::kRunBegin, -1);
   EventFn fn;
   while (!stopped_ && !calendar_.empty()) {
     const SimTime batch = calendar_.next_time();
     if (batch > deadline) break;
     IW_ASSERT(batch >= now_, "calendar produced an out-of-order event");
     now_ = batch;
+    ++batches_;
     // Same-timestamp fast path: drain the whole batch with one combined
     // check-and-pop per event instead of an empty/next_time/pop triple.
     // (time, seq) determinism is preserved: the heap yields equal-time
@@ -35,9 +39,10 @@ void Engine::run_until(SimTime deadline) {
     while (calendar_.pop_if_at(batch, fn)) {
       ++processed_;
       fn();
-      if (stopped_) return;
+      if (stopped_) break;
     }
   }
+  if (tracer_ != nullptr) tracer_->record(now_, obs::TraceEvent::kRunEnd, -1);
 }
 
 }  // namespace iw::sim

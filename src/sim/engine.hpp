@@ -11,6 +11,10 @@
 #include "sim/calendar.hpp"
 #include "support/time.hpp"
 
+namespace iw::obs {
+class Tracer;
+}
+
 namespace iw::sim {
 
 class Engine {
@@ -44,17 +48,28 @@ class Engine {
     now_ = SimTime::zero();
     stopped_ = false;
     processed_ = 0;
+    batches_ = 0;
+    tracer_ = nullptr;
     IW_ASSERT(calendar_.empty() && calendar_.size() == 0 &&
                   calendar_.peak_size() == 0,
               "Engine::reset post-condition: calendar not pristine");
     IW_AUDIT(calendar_.audit());
   }
 
+  /// Arms (or with nullptr disarms) the protocol flight recorder: the run
+  /// loop brackets each run with run_begin/run_end records. Cleared by
+  /// reset(); harnesses re-arm per run.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
   /// Pre-sizes the calendar for `events` simultaneously pending events.
   void reserve_events(std::size_t events) { calendar_.reserve(events); }
 
   [[nodiscard]] bool stopped() const { return stopped_; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  /// Same-timestamp batches drained (outer run-loop iterations) — the
+  /// events_processed/batches ratio is the calendar's chaining win.
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
   [[nodiscard]] std::size_t events_pending() const { return calendar_.size(); }
 
   /// Largest calendar population seen so far — the working-set figure the
@@ -68,6 +83,8 @@ class Engine {
   SimTime now_ = SimTime::zero();
   bool stopped_ = false;
   std::uint64_t processed_ = 0;
+  std::uint64_t batches_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace iw::sim

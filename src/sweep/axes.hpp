@@ -51,6 +51,21 @@ class Cli;
   X(rdv_flavor, iw::mpi::RendezvousFlavor, "rdv-flavor", "rdv_flavor",       \
     iw::mpi::RendezvousFlavor::two_sided)
 
+// Per-point protocol-counter columns, surfaced from the transport's run
+// statistics through the metrics registry. Declared once here, like the
+// axes: each entry generates the WaveResult/SweepRecord member, the
+// record-schema column, and the reduce() copy. Only deterministic per-run
+// counters belong in this list (PoolStats watermarks accumulate across a
+// worker's lifetime and would make records depend on point order). Each
+// entry is X(field) — the member name doubles as the column name; all are
+// exact-match uint64 counters. Appending an entry adds a schema column, so
+// kGoldenSchemaVersion must bump and the goldens regenerate.
+#define IW_METRIC_COLUMNS(X) \
+  X(nic_backlogged)          \
+  X(deferred_pushes)         \
+  X(unexpected_eager)        \
+  X(unexpected_rts)
+
 namespace iw::sweep {
 
 #define IW_SWEEP_AXIS_PLUS1(field, Type, flag, column, default_) +1

@@ -148,6 +148,12 @@ const std::vector<ColumnDef>& column_table() {
       col<&SweepRecord::makespan_ms>("makespan_ms", ColumnType::f64, kApprox),
       col<&SweepRecord::eager_demotions>("eager_demotions", ColumnType::u64,
                                          kExact),
+// Protocol-counter columns come from the IW_METRIC_COLUMNS registry; all
+// are exact-match uint64 counters named after their record member.
+#define IW_METRIC_COL(field) \
+  col<&SweepRecord::field>(#field, ColumnType::u64, kExact),
+      IW_METRIC_COLUMNS(IW_METRIC_COL)
+#undef IW_METRIC_COL
       col<&SweepRecord::events_processed>("events_processed", ColumnType::u64,
                                           kExact),
       col<&SweepRecord::peak_events_pending>("peak_events_pending",
@@ -236,6 +242,9 @@ SweepRecord reduce(const SweepPoint& point, const core::WaveResult& result) {
   rec.cycle_us = result.measured_cycle.us();
   rec.makespan_ms = result.trace.makespan().ms();
   rec.eager_demotions = result.eager_demotions;
+#define IW_METRIC_REDUCE(field) rec.field = result.field;
+  IW_METRIC_COLUMNS(IW_METRIC_REDUCE)
+#undef IW_METRIC_REDUCE
   rec.events_processed = result.events_processed;
   rec.peak_events_pending = result.peak_events_pending;
   return rec;

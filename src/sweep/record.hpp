@@ -53,6 +53,11 @@ struct SweepRecord {
   /// Eager-sized sends the transport demoted to rendezvous (finite-buffer
   /// fallbacks + credit stalls); an observable for the flow-control axes.
   std::uint64_t eager_demotions = 0;
+  // Per-point transport protocol counters, generated from the
+  // IW_METRIC_COLUMNS registry (sweep/axes.hpp).
+#define IW_METRIC_RECORD_MEMBER(field) std::uint64_t field = 0;
+  IW_METRIC_COLUMNS(IW_METRIC_RECORD_MEMBER)
+#undef IW_METRIC_RECORD_MEMBER
   // Simulation cost (engine counters).
   std::uint64_t events_processed = 0;
   std::uint64_t peak_events_pending = 0;

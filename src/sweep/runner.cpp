@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace iw::sweep {
 namespace {
 
@@ -41,31 +43,57 @@ struct Collector {
     }
   }
 
+  // Must hold `mutex`. Folds one completed record's run counters into the
+  // campaign's registry; the per-point members mirror the registry's
+  // engine/transport metric ids, so the accumulation is table-driven.
+  void publish_record(const SweepRecord& rec) {
+    obs::MetricsRegistry& m = *options.metrics;
+    m.add(obs::MetricId::engine_events_processed, rec.events_processed);
+    m.set_max(obs::MetricId::engine_calendar_peak,
+              static_cast<double>(rec.peak_events_pending));
+#define IW_METRIC_PUBLISH(field) \
+  m.add(obs::MetricId::transport_##field, rec.field);
+    IW_METRIC_COLUMNS(IW_METRIC_PUBLISH)
+#undef IW_METRIC_PUBLISH
+    m.add(obs::MetricId::sweep_points_done, 1);
+  }
+
   void worker() {
     // Each worker recycles one Cluster across the points it claims
     // (calendar slab, transport pools, process objects); reused clusters
     // are byte-identical to fresh ones, so claim order stays irrelevant.
     core::WaveRunner lab;
+    double busy_seconds = 0.0;
     for (;;) {
       // A failed point poisons the campaign; don't burn wall-clock
       // simulating points whose records can never be delivered.
-      if (cancelled() || failed.load(std::memory_order_relaxed)) return;
+      if (cancelled() || failed.load(std::memory_order_relaxed)) break;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= points.size()) return;
+      if (i >= points.size()) break;
       try {
+        const auto begin = std::chrono::steady_clock::now();
         SweepRecord rec = reduce(points[i], lab.run(points[i].exp));
+        busy_seconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count();
         std::lock_guard<std::mutex> lock(mutex);
         records[i] = std::move(rec);
         done[i] = 1;
         ++completed;
+        if (options.metrics) publish_record(records[i]);
         flush_prefix();
         if (options.on_progress) options.on_progress(completed, points.size());
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!error) error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
+    }
+    if (options.metrics) {
+      std::lock_guard<std::mutex> lock(mutex);
+      options.metrics->set_max(obs::MetricId::sweep_worker_busy_seconds,
+                               busy_seconds);
     }
   }
 };
@@ -112,6 +140,14 @@ CampaignResult run_campaign(const std::vector<SweepPoint>& points,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options.metrics;
+    m.set(obs::MetricId::sweep_points_total,
+          static_cast<double>(points.size()));
+    m.set(obs::MetricId::sweep_elapsed_seconds, result.seconds);
+    m.set(obs::MetricId::sweep_points_per_sec, result.points_per_sec());
+    m.set(obs::MetricId::sweep_workers, static_cast<double>(threads));
+  }
   return result;
 }
 

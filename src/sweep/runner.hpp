@@ -17,6 +17,10 @@
 #include "sweep/record.hpp"
 #include "sweep/spec.hpp"
 
+namespace iw::obs {
+class MetricsRegistry;
+}
+
 namespace iw::sweep {
 
 struct RunnerOptions {
@@ -29,6 +33,12 @@ struct RunnerOptions {
   /// Optional cancellation flag. Workers stop claiming points once it reads
   /// true; in-flight points run to completion and are delivered.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional unified metrics registry. The campaign accumulates each
+  /// record's engine/transport counters as it completes (under the
+  /// collector lock) and publishes the sweep.* throughput metrics —
+  /// points done/total, elapsed, points/sec, worker count and peak
+  /// per-worker busy time — when the pool drains. Non-owning.
+  obs::MetricsRegistry* metrics = nullptr;
   /// Record destinations. write() is invoked in ascending index order, one
   /// record at a time — from worker threads under the collector lock while
   /// the campaign runs, and from the calling thread (after all workers have

@@ -27,7 +27,10 @@ namespace iw::verify {
 /// v2: protocol axes (nic_depth, eager_credits, rdv_flavor) join the axis
 /// block, eager_demotions joins the observables, and the identity columns
 /// settle into registry order (axes before workload/seed).
-inline constexpr int kGoldenSchemaVersion = 2;
+/// v3: the IW_METRIC_COLUMNS protocol counters (nic_backlogged,
+/// deferred_pushes, unexpected_eager, unexpected_rts) join the observables
+/// between eager_demotions and the engine-cost columns.
+inline constexpr int kGoldenSchemaVersion = 3;
 
 struct GoldenCorpus {
   int schema_version = kGoldenSchemaVersion;

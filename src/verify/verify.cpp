@@ -1,6 +1,7 @@
 #include "verify/verify.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -185,26 +186,44 @@ ScenarioVerdict verify_scenario(const sweep::Scenario& scenario,
   ScenarioVerdict verdict;
   verdict.scenario = scenario.name;
   verdict.golden_file = golden_path(options.golden_dir, scenario.name);
+  // Per-phase stopwatch for the verdict's timing block.
+  auto mark = std::chrono::steady_clock::now();
+  const auto begin = mark;
+  const auto lap = [&mark] {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - mark).count();
+    mark = now;
+    return s;
+  };
   try {
     const GoldenCorpus corpus = load_golden(verdict.golden_file);
     if (corpus.scenario != scenario.name)
       throw std::runtime_error("golden corpus is for scenario '" +
                                corpus.scenario + "', expected '" +
                                scenario.name + "'");
+    verdict.timing.load = lap();
 
     const auto points = points_for(scenario, options.quick);
     const sweep::CampaignResult result = run_points(points, options);
     verdict.records_run = result.records.size();
     verdict.seconds = result.seconds;
+    verdict.timing.campaign = lap();
 
     verdict.diff = diff_records(corpus.records, result.records, options.policy,
                                 /*expect_full=*/!options.quick);
+    verdict.timing.diff = lap();
     verdict.oracle = check_oracles(scenario, result.records);
-    if (options.self_check)
+    verdict.timing.oracle = lap();
+    if (options.self_check) {
       self_check(verdict, corpus, result.records, options);
+      verdict.timing.self_check = lap();
+    }
   } catch (const std::exception& e) {
     verdict.error = e.what();
   }
+  verdict.timing.total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
   return verdict;
 }
 
@@ -224,7 +243,8 @@ std::string update_golden(const sweep::Scenario& scenario,
 
 std::string verdict_json(const std::vector<ScenarioVerdict>& verdicts) {
   std::ostringstream os;
-  os << "{\"schema\":1,\"pass\":" << json_bool(all_pass(verdicts))
+  // Verdict-document schema v2: per-scenario "timing" phase breakdown.
+  os << "{\"schema\":2,\"pass\":" << json_bool(all_pass(verdicts))
      << ",\"scenarios\":[";
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
     const ScenarioVerdict& v = verdicts[i];
@@ -233,6 +253,12 @@ std::string verdict_json(const std::vector<ScenarioVerdict>& verdicts) {
        << json_str(v.golden_file) << ",\"pass\":" << json_bool(v.pass())
        << ",\"error\":" << json_str(v.error) << ",\"records_run\":"
        << v.records_run << ",\"seconds\":" << csv_num(v.seconds)
+       << ",\"timing\":{\"total_s\":" << json_num(v.timing.total)
+       << ",\"load_s\":" << json_num(v.timing.load)
+       << ",\"campaign_s\":" << json_num(v.timing.campaign)
+       << ",\"diff_s\":" << json_num(v.timing.diff)
+       << ",\"oracle_s\":" << json_num(v.timing.oracle)
+       << ",\"self_check_s\":" << json_num(v.timing.self_check) << "}"
        << ",\"records_compared\":" << v.diff.records_compared
        << ",\"field_diffs\":";
     append_array(os, v.diff.field_diffs, append_diff);

@@ -35,12 +35,25 @@ struct MutationOutcome {
   std::string detail;  ///< what the differ reported (or failed to)
 };
 
+/// Wall-clock timing of one scenario's verification pipeline, per phase
+/// [seconds]. Exported in the --json verdict so CI history can tell a
+/// slow simulation from a slow harness.
+struct VerifyTiming {
+  double total = 0.0;       ///< the whole verify_scenario call
+  double load = 0.0;        ///< golden-corpus load + parse
+  double campaign = 0.0;    ///< fresh re-simulation of the points
+  double diff = 0.0;        ///< field-by-field golden diff
+  double oracle = 0.0;      ///< analytic oracle checks
+  double self_check = 0.0;  ///< mutation probes (0 when not requested)
+};
+
 struct ScenarioVerdict {
   std::string scenario;
   std::string golden_file;
   std::string error;  ///< load/run failure; empty on a normal verdict
   std::size_t records_run = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;  ///< campaign wall-clock (timing.campaign)
+  VerifyTiming timing;
   DiffReport diff;
   OracleReport oracle;
   std::vector<MutationOutcome> mutations;

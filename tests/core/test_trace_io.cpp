@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/trace_io.hpp"
 
@@ -55,6 +57,98 @@ TEST(TraceIo, StepPositionsCsv) {
   EXPECT_EQ(line, "1,0,3500000");
   std::getline(in, line);
   EXPECT_EQ(line, "0,1,50");
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+// Schema-drift guard: the exact header column lists are a published
+// interface (external pandas/gnuplot consumers key on them); renaming,
+// reordering or appending a column must be a conscious, test-visible act.
+TEST(TraceIo, CsvHeaderSchemas) {
+  const std::vector<std::string> seg_cols{
+      "rank", "kind", "begin_ns", "end_ns", "duration_ns", "step",
+      "noise_ns"};
+  const std::vector<std::string> step_cols{"step", "rank", "begin_ns"};
+
+  std::ostringstream seg_out;
+  write_segments_csv(mpi::Trace(1), seg_out);
+  std::istringstream seg_in(seg_out.str());
+  std::string header;
+  std::getline(seg_in, header);
+  EXPECT_EQ(split_csv(header), seg_cols);
+
+  std::ostringstream step_out;
+  write_step_positions_csv(mpi::Trace(1), step_out);
+  std::istringstream step_in(step_out.str());
+  std::getline(step_in, header);
+  EXPECT_EQ(split_csv(header), step_cols);
+}
+
+// Parse-back round trip: every segment written must read back field-for-
+// field against the hand-built trace, in emission order (rank-major, then
+// recording order within a rank) — catching formatting drift the exact-
+// string row tests above would attribute to the wrong column.
+TEST(TraceIo, SegmentsCsvParsesBackToTheTrace) {
+  const mpi::Trace trace = sample_trace();
+  std::ostringstream out;
+  write_segments_csv(trace, out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header, checked elsewhere
+
+  std::size_t row = 0;
+  for (int rank = 0; rank < trace.ranks(); ++rank) {
+    for (const auto& seg : trace.segments(rank)) {
+      ASSERT_TRUE(std::getline(in, line)) << "missing row " << row;
+      const auto cells = split_csv(line);
+      ASSERT_EQ(cells.size(), 7u) << line;
+      EXPECT_EQ(std::stoi(cells[0]), rank) << line;
+      EXPECT_EQ(cells[1], mpi::to_string(seg.kind)) << line;
+      EXPECT_EQ(std::stoll(cells[2]), seg.begin.ns()) << line;
+      EXPECT_EQ(std::stoll(cells[3]), seg.end.ns()) << line;
+      EXPECT_EQ(std::stoll(cells[4]), seg.duration().ns()) << line;
+      EXPECT_EQ(std::stoi(cells[5]), seg.step) << line;
+      EXPECT_EQ(std::stoll(cells[6]), seg.noise.ns()) << line;
+      ++row;
+    }
+  }
+  EXPECT_FALSE(std::getline(in, line)) << "extra row: " << line;
+}
+
+TEST(TraceIo, StepPositionsCsvParsesBackToTheTrace) {
+  const mpi::Trace trace = sample_trace();
+  std::ostringstream out;
+  write_step_positions_csv(trace, out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+
+  std::size_t rows = 0;
+  std::size_t expected = 0;
+  for (int rank = 0; rank < trace.ranks(); ++rank)
+    expected += trace.step_begin(rank).size();
+  while (std::getline(in, line)) {
+    const auto cells = split_csv(line);
+    ASSERT_EQ(cells.size(), 3u) << line;
+    const int step = std::stoi(cells[0]);
+    const int rank = std::stoi(cells[1]);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, trace.ranks());
+    const auto& begins = trace.step_begin(rank);
+    ASSERT_GE(step, 0);
+    ASSERT_LT(static_cast<std::size_t>(step), begins.size()) << line;
+    EXPECT_EQ(std::stoll(cells[2]),
+              begins[static_cast<std::size_t>(step)].ns())
+        << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, expected);
 }
 
 TEST(TraceIo, FileRoundTrip) {

@@ -1,0 +1,109 @@
+// Tests for the unified metrics registry: X-macro table integrity,
+// counter/gauge semantics, snapshot deltas, JSON export, and the
+// engine/tracer publish seams.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/engine.hpp"
+
+namespace iw::obs {
+namespace {
+
+TEST(Metrics, TableNamesAreUniqueAndDotted) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const std::string name = metric_name(static_cast<MetricId>(i));
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate metric " << name;
+  }
+}
+
+TEST(Metrics, CounterAddsGaugeSets) {
+  MetricsRegistry reg;
+  reg.add(MetricId::transport_eager_sends, 3);
+  reg.add(MetricId::transport_eager_sends, 4);
+  EXPECT_EQ(reg.counter(MetricId::transport_eager_sends), 7u);
+
+  reg.set(MetricId::pool_allocations, 5.0);
+  reg.set(MetricId::pool_allocations, 2.0);
+  EXPECT_EQ(reg.gauge(MetricId::pool_allocations), 2.0);
+
+  // set_max combines publishes from multiple workers: peaks never shrink.
+  reg.set_max(MetricId::engine_calendar_peak, 10.0);
+  reg.set_max(MetricId::engine_calendar_peak, 6.0);
+  EXPECT_EQ(reg.gauge(MetricId::engine_calendar_peak), 10.0);
+
+  reg.clear();
+  EXPECT_EQ(reg.counter(MetricId::transport_eager_sends), 0u);
+  EXPECT_EQ(reg.gauge(MetricId::pool_allocations), 0.0);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsCountersKeepsGauges) {
+  MetricsRegistry reg;
+  reg.add(MetricId::engine_events_processed, 100);
+  reg.set(MetricId::engine_calendar_peak, 8.0);
+  const MetricsSnapshot before = reg.snapshot();
+
+  reg.add(MetricId::engine_events_processed, 42);
+  reg.set(MetricId::engine_calendar_peak, 5.0);
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricsSnapshot d = after.delta(before);
+  EXPECT_EQ(d.counter(MetricId::engine_events_processed), 42u);
+  EXPECT_EQ(d.gauge(MetricId::engine_calendar_peak), 5.0);
+
+  // A cleared registry must not produce wrapped counter deltas.
+  reg.clear();
+  const MetricsSnapshot cleared = reg.snapshot();
+  EXPECT_EQ(cleared.delta(before).counter(MetricId::engine_events_processed),
+            0u);
+}
+
+TEST(Metrics, JsonCarriesEveryMetricOnce) {
+  MetricsRegistry reg;
+  reg.add(MetricId::transport_rendezvous_sends, 11);
+  reg.set(MetricId::tracer_records, 3.0);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const std::string key =
+        std::string{"\""} + metric_name(static_cast<MetricId>(i)) + "\":";
+    const auto first = json.find(key);
+    ASSERT_NE(first, std::string::npos) << key;
+    EXPECT_EQ(json.find(key, first + 1), std::string::npos)
+        << key << " appears twice";
+  }
+  EXPECT_NE(json.find("\"transport.rendezvous_sends\":11"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tracer.records\":3"), std::string::npos) << json;
+}
+
+TEST(Metrics, PublishEngineAndTracer) {
+  sim::Engine engine;
+  int fired = 0;
+  engine.at(SimTime{10}, [&] { ++fired; });
+  engine.at(SimTime{20}, [&] { ++fired; });
+  engine.run();
+  ASSERT_EQ(fired, 2);
+
+  Tracer tracer(8);
+  tracer.record(SimTime{1}, TraceEvent::kRunBegin, -1);
+  tracer.record(SimTime{2}, TraceEvent::kRunEnd, -1);
+
+  MetricsRegistry reg;
+  reg.publish(engine);
+  reg.publish(tracer);
+  EXPECT_EQ(reg.counter(MetricId::engine_events_processed),
+            engine.events_processed());
+  EXPECT_GE(reg.counter(MetricId::engine_events_processed), 2u);
+  EXPECT_EQ(reg.gauge(MetricId::tracer_records), 2.0);
+  EXPECT_EQ(reg.gauge(MetricId::tracer_dropped), 0.0);
+}
+
+}  // namespace
+}  // namespace iw::obs

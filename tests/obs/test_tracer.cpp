@@ -1,0 +1,97 @@
+// Tests for the protocol flight recorder ring (obs::Tracer).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "obs/tracer.hpp"
+#include "support/time.hpp"
+
+namespace iw::obs {
+namespace {
+
+TEST(Tracer, StartsEmptyWithRequestedCapacity) {
+  Tracer t(16);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), 16u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_TRUE(t.drain_ordered().empty());
+}
+
+TEST(Tracer, DefaultCapacityIsLarge) {
+  Tracer t;
+  EXPECT_EQ(t.capacity(), Tracer::kDefaultCapacity);
+}
+
+TEST(Tracer, ZeroCapacityRefused) {
+  EXPECT_THROW(Tracer{0}, std::exception);
+}
+
+TEST(Tracer, RecordsFieldsAndDefaults) {
+  Tracer t(8);
+  t.record(SimTime{100}, TraceEvent::kEagerSend, /*rank=*/2, /*peer=*/3,
+           /*bytes=*/1024, /*slot=*/7);
+  t.record(SimTime{200}, TraceEvent::kWaitBegin, /*rank=*/5);
+  const auto out = t.drain_ordered();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].t, SimTime{100});
+  EXPECT_EQ(out[0].ev, TraceEvent::kEagerSend);
+  EXPECT_EQ(out[0].rank, 2);
+  EXPECT_EQ(out[0].peer, 3);
+  EXPECT_EQ(out[0].bytes, 1024);
+  EXPECT_EQ(out[0].slot, 7u);
+  // Omitted arguments take the documented neutral values.
+  EXPECT_EQ(out[1].peer, -1);
+  EXPECT_EQ(out[1].bytes, 0);
+  EXPECT_EQ(out[1].slot, Tracer::kNoSlot);
+}
+
+TEST(Tracer, WrapOverwritesOldestAndCountsDropped) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.record(SimTime{i}, TraceEvent::kMatch, i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto out = t.drain_ordered();
+  ASSERT_EQ(out.size(), 4u);
+  // The survivors are the newest four, oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].rank, 6 + i);
+  }
+}
+
+TEST(Tracer, DrainIsNonDestructiveClearForgets) {
+  Tracer t(4);
+  t.record(SimTime{1}, TraceEvent::kRunBegin, -1);
+  EXPECT_EQ(t.drain_ordered().size(), 1u);
+  EXPECT_EQ(t.drain_ordered().size(), 1u);  // drain copies, ring unchanged
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.capacity(), 4u);  // storage retained
+  t.record(SimTime{2}, TraceEvent::kRunEnd, -1);
+  const auto out = t.drain_ordered();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ev, TraceEvent::kRunEnd);
+}
+
+TEST(Tracer, EventNamesAreUniqueLowerSnake) {
+  std::set<std::string> seen;
+  for (int i = 0; i < static_cast<int>(TraceEvent::kCount); ++i) {
+    const std::string name = to_string(static_cast<TraceEvent>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown") << "event " << i << " has no name";
+    for (const char c : name) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) || c == '_')
+          << "event " << i << " name " << name;
+    }
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_STREQ(to_string(TraceEvent::kCount), "unknown");
+}
+
+}  // namespace
+}  // namespace iw::obs

@@ -28,6 +28,12 @@ Rules (each line of output is `path:line: [rule] message`):
                      `<group>.<field>` inside TransportConfig::validate()
                      (src/mpi/transport_config.cpp) — a knob the validator
                      never looks at is a knob that can silently hold garbage.
+  stats-in-registry  every field of Transport::Stats and
+                     Transport::PoolStats (src/mpi/transport.hpp) is
+                     referenced as `.<field>` in the unified metrics
+                     publisher (src/obs/metrics.cpp) — a counter the
+                     registry never exports is invisible to every metrics
+                     consumer and rots silently.
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -304,12 +310,42 @@ def check_transport_config_validate(repo: Path) -> list[str]:
     return problems
 
 
+# Transport stat structs that must surface in the metrics registry.
+STATS_STRUCTS = ("Stats", "PoolStats")
+
+
+def check_stats_in_registry(repo: Path) -> list[str]:
+    hpp = repo / "src" / "mpi" / "transport.hpp"
+    cpp = repo / "src" / "obs" / "metrics.cpp"
+    rel_hpp = hpp.relative_to(repo).as_posix()
+    if not hpp.is_file() or not cpp.is_file():
+        missing = rel_hpp if not hpp.is_file() else "src/obs/metrics.cpp"
+        return [f"{missing}:1: [stats-in-registry] missing — the transport "
+                f"stats and the metrics publisher must exist as a pair"]
+    header = strip_comments(hpp.read_text())
+    source = strip_comments(cpp.read_text())
+
+    problems = []
+    for struct in STATS_STRUCTS:
+        lineno, body = struct_body(header, struct, rel_hpp)
+        for field in struct_fields(body):
+            if not re.search(rf"\.\s*{field}\b", source):
+                problems.append(
+                    f"{rel_hpp}:{lineno}: [stats-in-registry] "
+                    f"Transport::{struct}::{field} is never referenced in "
+                    f"src/obs/metrics.cpp — publish it into the unified "
+                    f"metrics registry (add a MetricId and an add()/set_max() "
+                    f"in MetricsRegistry::publish)")
+    return problems
+
+
 RULES = {
     "banned-construct": check_banned_constructs,
     "source-registration": check_source_registration,
     "include-hygiene": check_include_hygiene,
     "golden-schema": check_golden_schema,
     "transport-config-validate": check_transport_config_validate,
+    "stats-in-registry": check_stats_in_registry,
 }
 
 
@@ -353,9 +389,23 @@ def make_clean_tree(root: Path) -> None:
         "  (void)eager.credit_window;\n"
         "  (void)rendezvous.flavor;\n"
         "}\n}\n")
+    (root / "src" / "obs").mkdir(parents=True)
+    (root / "src" / "mpi" / "transport.hpp").write_text(
+        "#pragma once\nnamespace iw::mpi {\n"
+        "class Transport {\n public:\n"
+        "  struct Stats {\n    unsigned long eager_sends = 0;\n  };\n"
+        "  struct PoolStats {\n    unsigned long allocations = 0;\n  };\n"
+        "};\n}\n")
+    (root / "src" / "obs" / "metrics.cpp").write_text(
+        '#include "mpi/transport.hpp"\n'
+        "namespace iw::obs {\n"
+        "unsigned long publish(const iw::mpi::Transport::Stats& s,\n"
+        "                      const iw::mpi::Transport::PoolStats& p) {\n"
+        "  return s.eager_sends + p.allocations;\n"
+        "}\n}\n")
     (root / "src" / "CMakeLists.txt").write_text(
         "add_library(idlewave STATIC\n  sim/calendar.cpp\n"
-        "  mpi/transport_config.cpp\n)\n")
+        "  mpi/transport_config.cpp\n  obs/metrics.cpp\n)\n")
     (root / "tests" / "sim_test.cpp").write_text(
         "TEST(Mini, Works) {}\n")
     (root / "tests" / "golden" / "mini.csv").write_text(
@@ -382,6 +432,14 @@ def seed_violation(root: Path, rule: str) -> None:
         hpp.write_text(hpp.read_text().replace(
             "  int injection_depth = 0;\n",
             "  int injection_depth = 0;\n  int unchecked_knob = 7;\n"))
+    elif rule == "stats-in-registry":
+        # A new stats counter lands in the transport but the metrics
+        # publisher never exports it.
+        hpp = root / "src" / "mpi" / "transport.hpp"
+        hpp.write_text(hpp.read_text().replace(
+            "    unsigned long eager_sends = 0;\n",
+            "    unsigned long eager_sends = 0;\n"
+            "    unsigned long ghost_counter = 0;\n"))
     else:
         raise AssertionError(f"no seeder for rule {rule}")
 

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Structural validator for idlewave Chrome-trace exports (stdlib only).
+
+Checks the invariants the exporter (src/core/trace_io.cpp,
+write_chrome_trace) promises, so CI can verify a traced run end-to-end
+without a human loading the file into chrome://tracing:
+
+  * the document is a JSON object with a `traceEvents` list, and every
+    event carries a known phase (`X` complete, `i` instant, `s`/`f` flow,
+    `M` metadata);
+  * per track (pid, tid), timestamps are monotone non-decreasing in file
+    order (metadata events are out-of-band and exempt);
+  * complete events have a non-negative `dur`;
+  * every flow id pairs exactly one `s` with exactly one `f` of the same
+    name, with ts(s) <= ts(f);
+  * every flow arrow is anchored to recorded protocol events: the `s` leg
+    coincides (same tid and ts) with a protocol instant of the pair's send
+    kind, the `f` leg with one of its recv kind — e.g. an "eager" arrow
+    must sit on an `eager_send` instant and land on an `eager_recv`
+    instant; and for sender->receiver pairs the anchoring instants must
+    name each other's rank as `args.peer` (the begin/end rank pair of the
+    arrow matches a recorded send/recv).
+
+Usage: validate_chrome_trace.py TRACE.json [--quiet]
+Exit status: 0 valid, 1 violations found, 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+# Flow-arrow name -> (send instant name, recv instant name, mirrored).
+# Mirrored pairs record the arrival from the receiving rank's perspective,
+# so the two anchoring instants must name each other via args.peer; the
+# RDMA-get pair records both ends on the issuing rank and is exempt.
+FLOW_PAIRS = {
+    "eager": ("eager_send", "eager_recv", True),
+    "rts": ("rts_send", "rts_recv", True),
+    "cts": ("cts_send", "cts_recv", True),
+    "push": ("push_send", "push_recv", True),
+    "get": ("get_send", "get_recv", False),
+    "fin": ("fin_send", "fin_recv", True),
+}
+
+KNOWN_PHASES = {"X", "i", "s", "f", "M"}
+
+
+def validate(doc) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document is not an object with a 'traceEvents' list"]
+    events = doc["traceEvents"]
+
+    # (tid, ts, name) -> peers of the protocol instants recorded there.
+    instants: dict[tuple, list] = defaultdict(list)
+    flows: dict = defaultdict(list)  # id -> [(ph, event index, event), ...]
+    last_ts: dict[tuple, float] = {}
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata: no timestamp, out-of-band
+        if "ts" not in ev or "tid" not in ev:
+            errors.append(f"event {i} (ph={ph}): missing ts or tid")
+            continue
+        ts = float(ev["ts"])
+        track = (ev.get("pid", 0), ev["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"event {i} ({ev.get('name')!r}): ts {ts} goes backwards on "
+                f"track pid={track[0]} tid={track[1]} (previous {last_ts[track]})")
+        last_ts[track] = ts
+
+        if ph == "X":
+            if float(ev.get("dur", -1)) < 0:
+                errors.append(
+                    f"event {i} ({ev.get('name')!r}): complete event without "
+                    f"a non-negative dur")
+        elif ph == "i":
+            if ev.get("cat") == "protocol":
+                peer = ev.get("args", {}).get("peer")
+                instants[(ev["tid"], ts, ev.get("name"))].append(peer)
+        else:  # s / f
+            if "id" not in ev:
+                errors.append(f"event {i} (ph={ph}): flow event without id")
+                continue
+            flows[ev["id"]].append((ph, i, ev))
+
+    for flow_id, legs in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        phases = sorted(leg[0] for leg in legs)
+        if phases != ["f", "s"]:
+            errors.append(
+                f"flow id {flow_id}: expected exactly one 's' and one 'f', "
+                f"got phases {phases}")
+            continue
+        (_, si, s_ev), (_, fi, f_ev) = sorted(legs, reverse=True)  # s then f
+        name = s_ev.get("name")
+        if f_ev.get("name") != name:
+            errors.append(
+                f"flow id {flow_id}: 's' name {name!r} != 'f' name "
+                f"{f_ev.get('name')!r}")
+            continue
+        if name not in FLOW_PAIRS:
+            errors.append(f"flow id {flow_id}: unknown flow kind {name!r}")
+            continue
+        s_ts, f_ts = float(s_ev["ts"]), float(f_ev["ts"])
+        if s_ts > f_ts:
+            errors.append(
+                f"flow id {flow_id} ({name}): starts at {s_ts} after it "
+                f"finishes at {f_ts}")
+        send_name, recv_name, mirrored = FLOW_PAIRS[name]
+        send_peers = instants.get((s_ev["tid"], s_ts, send_name))
+        recv_peers = instants.get((f_ev["tid"], f_ts, recv_name))
+        if send_peers is None:
+            errors.append(
+                f"flow id {flow_id} ({name}): no {send_name!r} instant at "
+                f"tid={s_ev['tid']} ts={s_ev['ts']} anchors the arrow start")
+        if recv_peers is None:
+            errors.append(
+                f"flow id {flow_id} ({name}): no {recv_name!r} instant at "
+                f"tid={f_ev['tid']} ts={f_ev['ts']} anchors the arrow end")
+        if mirrored and send_peers is not None and recv_peers is not None:
+            if f_ev["tid"] not in send_peers:
+                errors.append(
+                    f"flow id {flow_id} ({name}): the {send_name!r} instant "
+                    f"at tid={s_ev['tid']} never names receiver "
+                    f"{f_ev['tid']} as its peer")
+            if s_ev["tid"] not in recv_peers:
+                errors.append(
+                    f"flow id {flow_id} ({name}): the {recv_name!r} instant "
+                    f"at tid={f_ev['tid']} never names sender "
+                    f"{s_ev['tid']} as its peer")
+
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome-trace JSON file to validate")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line on success")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.trace}: unreadable: {exc}", file=sys.stderr)
+        return 2
+
+    errors = validate(doc)
+    if errors:
+        for e in errors:
+            print(f"{args.trace}: {e}", file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+    if not args.quiet:
+        events = doc["traceEvents"]
+        n_flow = sum(1 for e in events if e.get("ph") == "s")
+        tracks = {(e.get("pid", 0), e.get("tid"))
+                  for e in events if e.get("ph") not in (None, "M")}
+        print(f"{args.trace}: valid Chrome trace — {len(events)} events, "
+              f"{len(tracks)} tracks, {n_flow} flow arrows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
