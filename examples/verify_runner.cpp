@@ -7,10 +7,19 @@
 //   ./build/examples/verify_runner --all --quick --self-check
 //   ./build/examples/verify_runner --all --update-goldens # refresh corpus
 //
+// Baseline mode compares verdict JSON documents across revisions and exits
+// nonzero on a regression-class transition (pass -> fail, coverage lost,
+// still-failing-but-worse):
+//
+//   # pure diff of two archived verdicts, no simulation:
+//   ./build/examples/verify_runner --baseline=old.json --candidate=new.json
+//   # run the selected scenarios fresh and gate against the archive:
+//   ./build/examples/verify_runner --all --quick --baseline=old.json
+//
 // Exit codes: 0 = every selected scenario passed (zero field diffs, zero
-// oracle violations, every mutation probe caught); 1 = verification failed;
-// 2 = usage error. --json writes the machine-readable verdict with every
-// offending scenario/record/field named.
+// oracle violations, every mutation probe caught) and no baseline
+// regression; 1 = verification failed; 2 = usage error. --json writes the
+// machine-readable verdict with every offending scenario/record/field named.
 //
 // --update-goldens reruns the *full* campaigns and rewrites tests/golden/.
 // Only legitimate after a change that intentionally alters simulation
@@ -24,6 +33,7 @@
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "sweep/scenario.hpp"
+#include "verify/baseline.hpp"
 #include "verify/verify.hpp"
 
 // Default corpus location, baked at configure time so a fresh checkout
@@ -56,10 +66,42 @@ std::vector<const sweep::Scenario*> select_scenarios(const Cli& cli) {
   return {};
 }
 
+/// Renders the baseline comparison and returns whether it gates the run.
+bool baseline_regressed(const verify::VerdictDocument& baseline,
+                        const verify::VerdictDocument& candidate, bool quiet) {
+  const verify::BaselineReport report =
+      verify::diff_verdicts(baseline, candidate);
+  if (!quiet) {
+    std::cout << report.render();
+    std::cout << (report.regression() ? "BASELINE REGRESSION"
+                                      : "BASELINE CLEAN")
+              << " (" << report.deltas.size() << " scenario"
+              << (report.deltas.size() == 1 ? "" : "s") << " compared)\n";
+  }
+  return report.regression();
+}
+
 int verify_main(int argc, char** argv) {
   const Cli cli(argc, argv);
   cli.allow_only({"scenario", "all", "quick", "update-goldens", "self-check",
-                  "goldens", "json", "threads", "quiet"});
+                  "goldens", "json", "threads", "quiet", "baseline",
+                  "candidate"});
+
+  const bool quiet_flag = cli.has("quiet");
+  // Pure verdict-diff mode: both documents come from files, nothing is
+  // simulated. The usual scenario selection does not apply.
+  if (const auto candidate_path = cli.get("candidate")) {
+    const auto baseline_path = cli.get("baseline");
+    if (!baseline_path) {
+      std::cerr << "--candidate needs --baseline=<verdict.json>\n";
+      return 2;
+    }
+    return baseline_regressed(verify::load_verdict(*baseline_path),
+                              verify::load_verdict(*candidate_path),
+                              quiet_flag)
+               ? 1
+               : 0;
+  }
 
   verify::VerifyOptions options;
   options.golden_dir = cli.get_or("goldens", std::string{IW_GOLDEN_DIR});
@@ -138,7 +180,17 @@ int verify_main(int argc, char** argv) {
     if (!quiet) std::cout << "wrote verdict: " << *json_path << '\n';
   }
 
-  const bool pass = verify::all_pass(verdicts);
+  bool pass = verify::all_pass(verdicts);
+  // Fresh-run baseline gate: round-trip the fresh verdicts through the
+  // JSON serializer so the comparison sees exactly what an archived
+  // candidate file would contain.
+  if (const auto baseline_path = cli.get("baseline")) {
+    const auto fresh =
+        verify::parse_verdict_json(verify::verdict_json(verdicts));
+    if (baseline_regressed(verify::load_verdict(*baseline_path), fresh,
+                           quiet))
+      pass = false;
+  }
   if (!quiet)
     std::cout << (pass ? "VERIFY PASS" : "VERIFY FAIL") << " ("
               << verdicts.size() << " scenario"

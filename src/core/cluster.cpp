@@ -1,5 +1,6 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -13,16 +14,22 @@ namespace {
 constexpr std::uint64_t kSystemNoiseStream = 0;
 constexpr std::uint64_t kInjectedNoiseStream = 1;
 
+/// Calendar pre-sizing: a ring step wakes every rank and keeps a handful of
+/// protocol events per rank in flight, but at machine scale (100k+ ranks)
+/// the simultaneously pending population stays far below ranks*8 — the
+/// cap keeps the pre-allocation bounded while the calendar still grows on
+/// demand if a workload genuinely needs more.
+std::size_t calendar_budget(int ranks) {
+  return std::min<std::size_t>(static_cast<std::size_t>(ranks) * 8, 262144);
+}
+
 }  // namespace
 
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       topo_(config_.topo),
       transport_(engine_, topo_, config_.fabric, config_.transport) {
-  // A ring step wakes every rank and keeps a handful of protocol events per
-  // rank in flight; pre-sizing the calendar for that working set makes the
-  // first run allocation-quiet too.
-  engine_.reserve_events(static_cast<std::size_t>(topo_.ranks()) * 8);
+  engine_.reserve_events(calendar_budget(topo_.ranks()));
 }
 
 void Cluster::reset(ClusterConfig config) {
@@ -30,7 +37,7 @@ void Cluster::reset(ClusterConfig config) {
   engine_.reset();
   topo_ = net::Topology(config_.topo);
   // Keep the constructor's calendar pre-sizing when reshaping larger.
-  engine_.reserve_events(static_cast<std::size_t>(topo_.ranks()) * 8);
+  engine_.reserve_events(calendar_budget(topo_.ranks()));
   transport_.reconfigure(config_.fabric, config_.transport);
   ran_ = false;
   // Post-conditions of the recycle: the next run must be indistinguishable
@@ -52,6 +59,79 @@ Duration Cluster::message_time(int src, int dst, std::int64_t bytes) const {
   return transport_.rendezvous_transfer_time(src, dst, bytes);
 }
 
+mpi::Process& Cluster::bind_process(std::size_t slot, int rank,
+                                    mpi::Trace& trace) {
+  if (slot < processes_.size()) {
+    mpi::Process& proc = processes_[slot];
+    proc.reset(rank, trace);
+    return proc;
+  }
+  IW_ASSERT(slot == processes_.size(),
+            "process pool slots must be bound in order");
+  return processes_.emplace(rank, engine_, transport_, trace);
+}
+
+void Cluster::wire_domains() {
+  // Socket bandwidth domains (only when memory-bound work is configured).
+  // They serve both OpMemWork phases and — via the transport — intra-node
+  // message copies, which contend with computation for the memory bus.
+  // Domain objects are pooled: reset() re-arms existing ones, and slots
+  // beyond this run's socket count simply sit idle (the engine reset
+  // guarantees they hold no events).
+  const std::size_t sockets =
+      config_.memory ? static_cast<std::size_t>(topo_.sockets()) : 0;
+  for (std::size_t s = 0; s < sockets; ++s) {
+    if (s < domains_.size()) {
+      domains_[s].reset(config_.memory->socket_bandwidth_Bps,
+                        config_.memory->core_bandwidth_Bps);
+    } else {
+      domains_.emplace(engine_, config_.memory->socket_bandwidth_Bps,
+                       config_.memory->core_bandwidth_Bps);
+    }
+  }
+  domains_in_use_ = sockets;
+  domain_table_.clear();
+  if (sockets > 0) {
+    domain_table_.reserve(static_cast<std::size_t>(topo_.ranks()));
+    for (int rank = 0; rank < topo_.ranks(); ++rank)
+      domain_table_.push_back(
+          &domains_[static_cast<std::size_t>(topo_.socket_of(rank))]);
+  }
+  transport_.set_memory_domains(domain_table_);
+}
+
+void Cluster::publish_metrics() {
+  if (config_.metrics == nullptr) return;
+  config_.metrics->publish(engine_);
+  config_.metrics->publish(transport_);
+  for (std::size_t s = 0; s < domains_in_use_; ++s)
+    config_.metrics->publish(domains_[s]);
+  if (config_.tracer != nullptr) config_.metrics->publish(*config_.tracer);
+}
+
+void Cluster::record_footprint(const mpi::Trace& trace) {
+  // The per-rank budget counts the rank-proportional simulation state: the
+  // trace slabs, the shared request slab, the process/domain pools, the
+  // rank-indexed wiring tables, and the topology's classification tables.
+  // (The calendar and transport pools scale with the *active* working set,
+  // not with ranks, and are deliberately excluded.)
+  std::size_t bytes = trace.bytes_used();
+  bytes += request_slab_.capacity() * sizeof(mpi::Request);
+  bytes += processes_.bytes_used();
+  bytes += domains_.bytes_used();
+  bytes += process_table_.capacity() * sizeof(mpi::Process*);
+  bytes += domain_table_.capacity() * sizeof(memory::BandwidthDomain*);
+  const int tiers = 2 + (topo_.has_switch_tier() ? 1 : 0) +
+                    (topo_.has_island_tier() ? 1 : 0);
+  bytes += static_cast<std::size_t>(topo_.ranks()) *
+           static_cast<std::size_t>(tiers) * sizeof(std::int32_t);
+  peak_bytes_per_rank_ = static_cast<double>(bytes) /
+                         static_cast<double>(std::max(1, topo_.ranks()));
+  if (config_.metrics != nullptr)
+    config_.metrics->set_max(obs::MetricId::mem_peak_bytes_per_rank,
+                             peak_bytes_per_rank_);
+}
+
 mpi::Trace Cluster::run(const std::vector<mpi::Program>& programs,
                         const noise::NoiseSpec& injected_noise) {
   IW_REQUIRE(!ran_, "Cluster::run requires a fresh or reset() instance");
@@ -62,48 +142,31 @@ mpi::Trace Cluster::run(const std::vector<mpi::Program>& programs,
   const auto nranks = static_cast<std::size_t>(topo_.ranks());
   mpi::Trace trace(topo_.ranks());
 
-  // Socket bandwidth domains (only when memory-bound work is configured).
-  // They serve both OpMemWork phases and — via the transport — intra-node
-  // message copies, which contend with computation for the memory bus.
-  // Domain objects are recycled across reset() runs.
-  const std::size_t sockets =
-      config_.memory ? static_cast<std::size_t>(topo_.sockets()) : 0;
-  if (domains_.size() > sockets) domains_.resize(sockets);
-  for (std::size_t s = 0; s < sockets; ++s) {
-    if (s < domains_.size()) {
-      domains_[s]->reset(config_.memory->socket_bandwidth_Bps,
-                         config_.memory->core_bandwidth_Bps);
-    } else {
-      domains_.push_back(std::make_unique<memory::BandwidthDomain>(
-          engine_, config_.memory->socket_bandwidth_Bps,
-          config_.memory->core_bandwidth_Bps));
-    }
-  }
-  domain_table_.clear();
-  if (!domains_.empty()) {
-    domain_table_.reserve(nranks);
-    for (int rank = 0; rank < topo_.ranks(); ++rank)
-      domain_table_.push_back(
-          domains_[static_cast<std::size_t>(topo_.socket_of(rank))].get());
-  }
-  transport_.set_memory_domains(domain_table_);
+  wire_domains();
 
-  // Processes are pooled too: reset() rebinds existing ones to this run's
-  // trace; only a rank-count increase constructs new objects.
-  if (processes_.size() > nranks) processes_.resize(nranks);
-  for (std::size_t r = 0; r < processes_.size(); ++r)
-    processes_[r]->reset(trace);
-  while (processes_.size() < nranks)
-    processes_.push_back(std::make_unique<mpi::Process>(
-        static_cast<int>(processes_.size()), engine_, transport_, trace));
+  // The request slab holds every rank's in-flight request window
+  // back-to-back, sized exactly from the programs' deepest Isend/Irecv
+  // window. Sizing completes before any binding so the slab never moves
+  // under a bound process.
+  std::size_t slab = 0;
+  for (const auto& program : programs) slab += program.max_window_requests();
+  request_slab_.resize(slab);
 
+  process_table_.clear();
+  process_table_.reserve(nranks);
+  std::size_t offset = 0;
   for (int rank = 0; rank < topo_.ranks(); ++rank) {
-    mpi::Process& proc = *processes_[static_cast<std::size_t>(rank)];
     const mpi::Program& program = programs[static_cast<std::size_t>(rank)];
-    // Size the trace from the program shape (each op records at most one
-    // segment) so recording never reallocates mid-run.
-    trace.reserve_rank(rank, program.size(),
+    mpi::Process& proc = bind_process(static_cast<std::size_t>(rank), rank,
+                                      trace);
+    // Size the trace from the program shape (exact segment bound) so
+    // recording never reallocates mid-run.
+    trace.reserve_rank(rank, program.segment_bound(),
                        static_cast<std::size_t>(program.rounds()) + 1);
+    proc.set_request_storage(
+        request_slab_.data() + offset,
+        static_cast<std::uint32_t>(program.max_window_requests()));
+    offset += program.max_window_requests();
     proc.set_program(&program);
     if (config_.system_noise.kind != noise::NoiseSpec::Kind::none) {
       proc.add_noise(config_.system_noise.build(),
@@ -119,33 +182,113 @@ mpi::Trace Cluster::run(const std::vector<mpi::Program>& programs,
     }
     if (!domain_table_.empty())
       proc.set_domain(domain_table_[static_cast<std::size_t>(rank)]);
+    process_table_.push_back(&proc);
   }
+  procs_in_use_ = nranks;
 
   // Rank-indexed completion wiring: the transport calls straight into
   // Process::on_request_complete, no type-erased hop.
-  process_table_.clear();
-  process_table_.reserve(nranks);
-  for (auto& proc : processes_) process_table_.push_back(proc.get());
   transport_.set_processes(process_table_.data());
 
   // Flight-recorder wiring: one pointer per layer, null in untraced runs.
   engine_.set_tracer(config_.tracer);
   transport_.set_tracer(config_.tracer);
   if (config_.tracer != nullptr)
-    for (auto& proc : processes_) proc->set_tracer(config_.tracer);
+    for (std::size_t r = 0; r < procs_in_use_; ++r)
+      processes_[r].set_tracer(config_.tracer);
 
-  for (auto& proc : processes_) proc->start();
+  for (std::size_t r = 0; r < procs_in_use_; ++r) processes_[r].start();
   engine_.run();
 
-  for (const auto& proc : processes_)
-    IW_CHECK(proc->done(), "deadlock: a process never finished its program");
+  for (std::size_t r = 0; r < procs_in_use_; ++r)
+    IW_CHECK(processes_[r].done(),
+             "deadlock: a process never finished its program");
 
-  if (config_.metrics != nullptr) {
-    config_.metrics->publish(engine_);
-    config_.metrics->publish(transport_);
-    for (const auto& domain : domains_) config_.metrics->publish(*domain);
-    if (config_.tracer != nullptr) config_.metrics->publish(*config_.tracer);
+  publish_metrics();
+  record_footprint(trace);
+
+  return trace;
+}
+
+mpi::Trace Cluster::run_fast_forward(
+    const std::vector<const mpi::Program*>& programs,
+    std::span<const GhostSend> ghost_sends,
+    std::span<const GhostPost> ghost_posts) {
+  IW_REQUIRE(!ran_, "Cluster::run requires a fresh or reset() instance");
+  IW_REQUIRE(static_cast<int>(programs.size()) == topo_.ranks(),
+             "need exactly one program slot per rank");
+  // The fast-forward envelope (core::plan_fast_forward) excludes every
+  // feature that could couple a silent rank back into the simulation;
+  // re-prove the structural parts here.
+  IW_REQUIRE(!config_.memory,
+             "fast-forward runs cannot use memory domains");
+  IW_REQUIRE(config_.system_noise.kind == noise::NoiseSpec::Kind::none,
+             "fast-forward runs cannot carry system noise");
+  IW_REQUIRE(config_.tracer == nullptr,
+             "fast-forward runs cannot be flight-recorded");
+  ran_ = true;
+
+  const auto nranks = static_cast<std::size_t>(topo_.ranks());
+  mpi::Trace trace(topo_.ranks());
+
+  domains_in_use_ = 0;
+  domain_table_.clear();
+  transport_.set_memory_domains(domain_table_);
+
+  std::size_t slab = 0;
+  for (const auto* program : programs)
+    if (program != nullptr) slab += program->max_window_requests();
+  request_slab_.resize(slab);
+
+  // Silent ranks get a null process-table entry. That is safe because a
+  // silent rank never posts a receive: arrivals from ghosts into silent
+  // destinations park in the transport's unexpected queues and are never
+  // completed, so procs_[silent] is never dereferenced.
+  process_table_.assign(nranks, nullptr);
+  std::size_t slot = 0;
+  std::size_t offset = 0;
+  for (int rank = 0; rank < topo_.ranks(); ++rank) {
+    const mpi::Program* program = programs[static_cast<std::size_t>(rank)];
+    if (program == nullptr) continue;
+    mpi::Process& proc = bind_process(slot++, rank, trace);
+    trace.reserve_rank(rank, program->segment_bound(),
+                       static_cast<std::size_t>(program->rounds()) + 1);
+    proc.set_request_storage(
+        request_slab_.data() + offset,
+        static_cast<std::uint32_t>(program->max_window_requests()));
+    offset += program->max_window_requests();
+    proc.set_program(program);
+    process_table_[static_cast<std::size_t>(rank)] = &proc;
   }
+  procs_in_use_ = slot;
+  transport_.set_processes(process_table_.data());
+  engine_.set_tracer(nullptr);
+  transport_.set_tracer(nullptr);
+
+  // Pre-schedule the ghost traffic: each post fires at the silent sender's
+  // analytically known compute-end time and injects its batch in program
+  // order, reproducing the NIC serialization a simulated sender would have.
+  for (const auto& post : ghost_posts) {
+    IW_REQUIRE(static_cast<std::size_t>(post.first) + post.count <=
+                   ghost_sends.size(),
+               "ghost post window out of range");
+    engine_.at(post.when, [this, ghost_sends, post] {
+      for (std::uint32_t i = 0; i < post.count; ++i) {
+        const GhostSend& g = ghost_sends[post.first + i];
+        transport_.post_ghost_send(g.src, g.dst, g.tag, g.bytes);
+      }
+    });
+  }
+
+  for (std::size_t r = 0; r < procs_in_use_; ++r) processes_[r].start();
+  engine_.run();
+
+  for (std::size_t r = 0; r < procs_in_use_; ++r)
+    IW_CHECK(processes_[r].done(),
+             "deadlock: a process never finished its program");
+
+  publish_metrics();
+  record_footprint(trace);
 
   return trace;
 }

@@ -14,21 +14,31 @@
 // (see core::WaveRunner) instead of reconstructing the world per point. A
 // reset cluster is byte-for-byte indistinguishable from a fresh one; the
 // determinism suite guards that equivalence.
+//
+// Machine-scale layout: per-rank state lives in struct-of-arrays storage —
+// trace rows index into shared slabs (mpi::Trace), every process's request
+// window is a slice of one shared request slab sized exactly from the
+// programs' Program::max_window_requests(), and Process/BandwidthDomain
+// objects come from chunked object pools with stable addresses. The
+// memory-per-rank budget this buys is surfaced as peak_bytes_per_rank().
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "memory/bandwidth_domain.hpp"
 #include "mpi/process.hpp"
+#include "mpi/request.hpp"
 #include "mpi/trace.hpp"
 #include "mpi/transport.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "noise/system_profiles.hpp"
 #include "sim/engine.hpp"
+#include "support/object_pool.hpp"
 
 namespace iw::obs {
 class MetricsRegistry;
@@ -64,6 +74,23 @@ struct ClusterConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// One pre-scheduled send posted on behalf of a rank outside the
+/// fast-forward active set (see Cluster::run_fast_forward).
+struct GhostSend {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  std::int64_t bytes = 0;
+};
+
+/// A batch of GhostSends posted at one simulated time: entries
+/// [first, first + count) of the ghost-send array, in program order.
+struct GhostPost {
+  SimTime when;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
@@ -78,6 +105,22 @@ class Cluster {
   mpi::Trace run(const std::vector<mpi::Program>& programs,
                  const noise::NoiseSpec& injected_noise =
                      noise::NoiseSpec::none());
+
+  /// Fast-forward run over an *active subset* of ranks: programs[r] is the
+  /// rank's program, or nullptr for a silent rank that is provably outside
+  /// every delay/boundary light cone. Silent ranks get no Process, no
+  /// request slice, and no trace reservation — the analytic layer
+  /// (core::run_ring_fast_forward) synthesizes their rows afterwards. The
+  /// rim of the active set still receives messages from its silent
+  /// neighbors; those arrive as the pre-scheduled `ghost_posts`, each
+  /// posting a batch of `ghost_sends` through the transport at the ghost
+  /// rank's analytically known send time. Both spans must stay alive for
+  /// the duration of the call. Requires the fast-forward eligibility
+  /// envelope (no noise, no memory domains, no tracer); callable once per
+  /// construction/reset().
+  mpi::Trace run_fast_forward(const std::vector<const mpi::Program*>& programs,
+                              std::span<const GhostSend> ghost_sends,
+                              std::span<const GhostPost> ghost_posts);
 
   /// Re-arms the cluster for another run under a (possibly different)
   /// configuration. The engine calendar, transport pools, and the process
@@ -99,20 +142,41 @@ class Cluster {
     return engine_.peak_events_pending();
   }
 
+  /// Simulation-state bytes per rank of the last run: trace slabs, request
+  /// slab, process/domain pools, the rank-indexed wiring tables, and the
+  /// topology's classification tables. The scale bench regression-gates
+  /// this against the fixed per-rank budget.
+  [[nodiscard]] double peak_bytes_per_rank() const {
+    return peak_bytes_per_rank_;
+  }
+
   /// End-to-end one-message communication time between two ranks, matching
   /// the protocol the transport would pick — the `Tcomm` for Eq. 2.
   [[nodiscard]] Duration message_time(int src, int dst,
                                       std::int64_t bytes) const;
 
  private:
+  /// Binds pool process `slot` to `rank`: rebinds an existing object or
+  /// constructs a new one in place. Stable addresses — never invalidates
+  /// previously bound processes.
+  mpi::Process& bind_process(std::size_t slot, int rank, mpi::Trace& trace);
+
+  void wire_domains();
+  void publish_metrics();
+  void record_footprint(const mpi::Trace& trace);
+
   ClusterConfig config_;
   sim::Engine engine_;
   net::Topology topo_;
   mpi::Transport transport_;
-  std::vector<std::unique_ptr<memory::BandwidthDomain>> domains_;
-  std::vector<std::unique_ptr<mpi::Process>> processes_;
+  support::ObjectPool<memory::BandwidthDomain> domains_;
+  std::size_t domains_in_use_ = 0;
+  support::ObjectPool<mpi::Process> processes_;
+  std::size_t procs_in_use_ = 0;
+  std::vector<mpi::Request> request_slab_;    ///< all ranks' request windows
   std::vector<mpi::Process*> process_table_;  ///< rank-indexed hot-path wiring
   std::vector<memory::BandwidthDomain*> domain_table_;
+  double peak_bytes_per_rank_ = 0.0;
   bool ran_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/speed_model.hpp"
 #include "support/stats.hpp"
@@ -128,13 +129,40 @@ WaveResult run_grid_experiment(Cluster& cluster, const WaveExperiment& exp) {
   return result;
 }
 
-WaveResult run_ring_experiment(Cluster& cluster, const WaveExperiment& exp) {
-  const auto programs = workload::build_ring(exp.ring, exp.delays);
+/// Runs the ring either through the fast-forward path (when requested and
+/// eligible) or the full event simulation; fills the ffwd counters.
+mpi::Trace run_ring_trace(Cluster& cluster, const WaveExperiment& exp,
+                          std::uint64_t& ffwd_skips,
+                          Duration& ffwd_time_skipped) {
+  if (exp.ffwd != FfwdMode::off) {
+    const FastForwardPlan plan = plan_fast_forward(exp);
+    IW_REQUIRE(exp.ffwd != FfwdMode::force || plan.eligible,
+               "ffwd=force but the experiment is ineligible: " + plan.reason);
+    // auto mode additionally requires a real silent region — fast-
+    // forwarding an all-active machine is pure overhead.
+    if (plan.eligible &&
+        (exp.ffwd == FfwdMode::force ||
+         plan.active_count < static_cast<std::size_t>(exp.ring.ranks))) {
+      FastForwardResult ff = run_ring_fast_forward(cluster, exp, plan);
+      ffwd_skips = ff.skips;
+      ffwd_time_skipped = ff.time_skipped;
+      return std::move(ff.trace);
+    }
+  }
+  return cluster.run(workload::build_ring(exp.ring, exp.delays),
+                     exp.injected_noise);
+}
 
-  WaveResult result{cluster.run(programs, exp.injected_noise),
+WaveResult run_ring_experiment(Cluster& cluster, const WaveExperiment& exp) {
+  std::uint64_t ffwd_skips = 0;
+  Duration ffwd_time_skipped;
+  WaveResult result{run_ring_trace(cluster, exp, ffwd_skips,
+                                   ffwd_time_skipped),
                     {}, {}, mpi::WireProtocol::eager, Duration::zero(), 0.0,
                     SimTime::zero(), cluster.events_processed(),
                     cluster.peak_events_pending()};
+  result.ffwd_skips = ffwd_skips;
+  result.ffwd_time_skipped = ffwd_time_skipped;
   reduce_transport_stats(result, cluster);
 
   result.protocol = protocol_for(exp.cluster, exp.ring.msg_bytes);

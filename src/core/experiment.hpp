@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "core/fast_forward.hpp"
 #include "core/idle_wave.hpp"
 #include "mpi/message.hpp"
 #include "workload/grid2d.hpp"
@@ -30,6 +31,10 @@ struct WaveExperiment {
   noise::NoiseSpec injected_noise = noise::NoiseSpec::none();
   /// Threshold below which a wait does not count as "the wave".
   Duration min_idle = milliseconds(0.5);
+  /// Analytic fast-forward over silent regions (ring workloads only; see
+  /// core/fast_forward.hpp). Off by default: the full event simulation is
+  /// the reference semantics, and its engine counters are golden-pinned.
+  FfwdMode ffwd = FfwdMode::off;
 };
 
 struct WaveResult {
@@ -63,6 +68,11 @@ struct WaveResult {
   std::uint64_t deferred_pushes = 0;
   std::uint64_t unexpected_eager = 0;
   std::uint64_t unexpected_rts = 0;
+  /// Fast-forward accounting, zero when the ffwd path was not taken:
+  /// rank-steps whose event simulation was skipped, and the summed
+  /// simulated time of the synthesized silent timelines.
+  std::uint64_t ffwd_skips = 0;
+  Duration ffwd_time_skipped = Duration::zero();
 };
 
 /// Runs the experiment. If `delays` is empty the wave analyses stay empty.

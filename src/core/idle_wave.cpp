@@ -46,19 +46,20 @@ WaveAnalysis analyze_wave(const mpi::Trace& trace, const WaveProbe& probe) {
     WaveObservation obs;
     obs.rank = *rank;
     obs.hops = hops;
-    const auto periods = idle_periods(trace, *rank, probe.min_idle);
-    // The wave-attributable idle period must *end* after the injection
+    // First wave-attributable idle period, scanned straight off the trace
+    // (no per-rank vector materialization — at machine scale this loop
+    // visits up to every rank). The period must *end* after the injection
     // began (a begin-time comparison would race with per-rank noise skew:
     // the neighbor may enter its waiting phase microseconds before the
     // delayed rank starts the injected segment).
-    const auto it = std::find_if(
-        periods.begin(), periods.end(), [&](const IdlePeriod& p) {
-          return p.end > probe.injection_time;
-        });
-    if (it != periods.end()) {
+    for (const auto& seg : trace.segments(*rank)) {
+      if (seg.kind != mpi::SegKind::wait) continue;
+      if (seg.duration() < probe.min_idle) continue;
+      if (seg.end <= probe.injection_time) continue;
       obs.reached = true;
-      obs.arrival = it->begin;
-      obs.amplitude = it->duration();
+      obs.arrival = seg.begin;
+      obs.amplitude = seg.duration();
+      break;
     }
     if (obs.reached && !front_broken) ++analysis.survival_hops;
     if (!obs.reached) front_broken = true;

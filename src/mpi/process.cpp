@@ -25,13 +25,40 @@ void Process::reset(Trace& trace) {
   noise_.clear();
   pc_ = 0;
   next_step_ = 0;
-  requests_.clear();  // capacity retained for the next run
+  req_count_ = 0;  // storage binding/capacity retained for the next run
   open_requests_ = 0;
   latest_due_ = SimTime::zero();
   blocked_ = false;
   wait_begin_ = SimTime::zero();
   done_ = false;
   on_done_ = DoneFn{};
+}
+
+void Process::reset(int rank, Trace& trace) {
+  IW_REQUIRE(rank >= 0, "rank must be non-negative");
+  rank_ = rank;
+  reset(trace);
+}
+
+void Process::set_request_storage(Request* base, std::uint32_t capacity) {
+  IW_REQUIRE(req_count_ == 0,
+             "cannot rebind request storage while requests are open");
+  req_ = base;
+  req_cap_ = capacity;
+}
+
+void Process::grow_own_requests() {
+  IW_CHECK(req_ == nullptr || req_ == own_requests_.data(),
+           "request window exceeds the cluster-provided slab capacity");
+  own_requests_.resize(std::max<std::size_t>(8, own_requests_.size() * 2));
+  req_ = own_requests_.data();
+  req_cap_ = static_cast<std::uint32_t>(own_requests_.size());
+}
+
+Request& Process::push_request(Request r) {
+  if (req_count_ == req_cap_) grow_own_requests();
+  req_[req_count_] = r;
+  return req_[req_count_++];
 }
 
 void Process::add_noise(std::unique_ptr<noise::NoiseModel> model, Rng rng) {
@@ -58,16 +85,15 @@ void Process::resume() {
     // The send/recv posts lead the dispatch chain: a step posts one of
     // each per neighbor but hits every other op kind once.
     if (const auto* send = std::get_if<OpIsend>(&op)) {
-      const auto id = static_cast<RequestId>(requests_.size());
-      requests_.push_back(
-          Request{Request::Kind::send, send->peer, send->tag, send->bytes,
-                  false, false, SimTime::zero()});
+      const auto id = static_cast<RequestId>(req_count_);
+      Request& req =
+          push_request(Request{Request::Kind::send, send->peer, send->tag,
+                               send->bytes, false, false, SimTime::zero()});
       // Eager sends hand back their local-completion delay instead of
       // scheduling a completion event; the request settles by the clock.
       if (const auto local = transport_.post_send(rank_, send->peer,
                                                   send->tag, send->bytes,
                                                   id)) {
-        Request& req = requests_.back();
         req.timed = true;
         req.due = engine_.now() + *local;
         latest_due_ = std::max(latest_due_, req.due);
@@ -79,10 +105,9 @@ void Process::resume() {
     }
 
     if (const auto* recv = std::get_if<OpIrecv>(&op)) {
-      const auto id = static_cast<RequestId>(requests_.size());
-      requests_.push_back(
-          Request{Request::Kind::recv, recv->peer, recv->tag, recv->bytes,
-                  false, false, SimTime::zero()});
+      const auto id = static_cast<RequestId>(req_count_);
+      push_request(Request{Request::Kind::recv, recv->peer, recv->tag,
+                           recv->bytes, false, false, SimTime::zero()});
       // Count the receive open before posting: an unexpected match settles
       // it synchronously from inside post_recv.
       ++open_requests_;
@@ -137,7 +162,7 @@ void Process::resume() {
 
     if (std::holds_alternative<OpWaitAll>(op)) {
       if (requests_settled(engine_.now())) {
-        requests_.clear();
+        req_count_ = 0;
         ++pc_;
         continue;
       }
@@ -195,16 +220,16 @@ void Process::finish_wait() {
     trace_->add_segment(rank_, Segment{SegKind::wait, wait_begin_, now,
                                        next_step_ - 1, Duration::zero()});
   }
-  requests_.clear();
+  req_count_ = 0;
   latest_due_ = SimTime::zero();
   ++pc_;
   resume();
 }
 
 void Process::on_request_complete(RequestId id) {
-  IW_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < requests_.size(),
+  IW_REQUIRE(id >= 0 && static_cast<std::uint32_t>(id) < req_count_,
              "unknown request id");
-  Request& req = requests_[static_cast<std::size_t>(id)];
+  Request& req = req_[static_cast<std::size_t>(id)];
   IW_ASSERT(!req.complete && !req.timed, "request completed twice");
   req.complete = true;
   --open_requests_;
@@ -220,9 +245,9 @@ void Process::on_request_complete(RequestId id) {
 }
 
 void Process::on_request_settles_at(RequestId id, SimTime due) {
-  IW_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < requests_.size(),
+  IW_REQUIRE(id >= 0 && static_cast<std::uint32_t>(id) < req_count_,
              "unknown request id");
-  Request& req = requests_[static_cast<std::size_t>(id)];
+  Request& req = req_[static_cast<std::size_t>(id)];
   IW_ASSERT(!req.complete && !req.timed, "request settled twice");
   req.timed = true;
   req.due = due;

@@ -48,9 +48,20 @@ class Process {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Re-arms the process for another run: rebinds the trace, clears the
-  /// program, noise sources, domain, and interpreter state. The request
-  /// vector keeps its capacity.
+  /// program, noise sources, domain, and interpreter state. Request storage
+  /// keeps its capacity.
   void reset(Trace& trace);
+
+  /// reset() that also rebinds the process to a new rank id — the pooled
+  /// fast-forward path reuses one contiguous block of processes for
+  /// whatever sparse active set the plan selects.
+  void reset(int rank, Trace& trace);
+
+  /// Binds the request window to `capacity` slots of an external slab (the
+  /// Cluster carves one slab for all ranks). Without a binding the process
+  /// falls back to growable owned storage (standalone/test use). Must be
+  /// called only while no requests are open.
+  void set_request_storage(Request* base, std::uint32_t capacity);
 
   /// Called once after wiring; schedules the first instruction at t=0.
   void start();
@@ -104,9 +115,20 @@ class Process {
   };
   std::vector<NoiseSource> noise_;
 
+  /// Appends to the request window, growing owned fallback storage if no
+  /// slab is bound (a bound slab overflowing is a contract error: the
+  /// Cluster sizes it from Program::max_window_requests()).
+  Request& push_request(Request r);
+  void grow_own_requests();
+
   std::size_t pc_ = 0;
   std::int32_t next_step_ = 0;
-  std::vector<Request> requests_;
+  /// Request window: a pointer into the Cluster's shared request slab (SoA
+  /// storage, one carve per rank) or into own_requests_ when standalone.
+  Request* req_ = nullptr;
+  std::uint32_t req_count_ = 0;
+  std::uint32_t req_cap_ = 0;
+  std::vector<Request> own_requests_;
   /// O(1) WaitAll accounting: requests whose completion is event-driven
   /// and still outstanding, plus the latest timed due point of the window.
   int open_requests_ = 0;

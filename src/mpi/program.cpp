@@ -1,5 +1,7 @@
 #include "mpi/program.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace iw::mpi {
@@ -26,6 +28,7 @@ Program& Program::isend(int peer, std::int64_t bytes, int tag) {
   IW_REQUIRE(peer >= 0, "send peer must be a valid rank");
   IW_REQUIRE(bytes >= 0, "message size must be non-negative");
   ops_.emplace_back(OpIsend{peer, bytes, tag});
+  max_window_requests_ = std::max(max_window_requests_, ++window_requests_);
   return *this;
 }
 
@@ -33,11 +36,13 @@ Program& Program::irecv(int peer, std::int64_t bytes, int tag) {
   IW_REQUIRE(peer >= 0, "recv peer must be a valid rank");
   IW_REQUIRE(bytes >= 0, "message size must be non-negative");
   ops_.emplace_back(OpIrecv{peer, bytes, tag});
+  max_window_requests_ = std::max(max_window_requests_, ++window_requests_);
   return *this;
 }
 
 Program& Program::waitall() {
   ops_.emplace_back(OpWaitAll{});
+  window_requests_ = 0;
   return *this;
 }
 
@@ -58,6 +63,18 @@ int Program::rounds() const {
   int n = 0;
   for (const auto& op : ops_)
     if (std::holds_alternative<OpWaitAll>(op)) ++n;
+  return n;
+}
+
+std::size_t Program::segment_bound() const {
+  std::size_t n = 0;
+  for (const auto& op : ops_) {
+    if (std::holds_alternative<OpCompute>(op) ||
+        std::holds_alternative<OpMemWork>(op) ||
+        std::holds_alternative<OpInject>(op) ||
+        std::holds_alternative<OpWaitAll>(op))
+      ++n;
+  }
   return n;
 }
 

@@ -81,8 +81,24 @@ class Program {
   /// Number of WaitAll operations (== communication rounds).
   [[nodiscard]] int rounds() const;
 
+  /// Exact upper bound on the trace segments this program can record: one
+  /// per compute/mem_work/inject op plus at most one wait segment per
+  /// WaitAll. The Cluster sizes per-rank trace rows from this, so recording
+  /// never reallocates and never over-reserves (the old `size()` bound
+  /// counted every send/recv post as a segment — ~3x waste at scale).
+  [[nodiscard]] std::size_t segment_bound() const;
+
+  /// Largest number of requests simultaneously open in any WaitAll window
+  /// (posts since the previous WaitAll). The Cluster sizes the shared
+  /// request slab from this.
+  [[nodiscard]] std::size_t max_window_requests() const {
+    return max_window_requests_;
+  }
+
  private:
   std::vector<Op> ops_;
+  std::size_t window_requests_ = 0;
+  std::size_t max_window_requests_ = 0;
 };
 
 }  // namespace iw::mpi

@@ -23,6 +23,17 @@ void Transport::reconfigure(const net::FabricProfile& fabric,
   // the free list, liveness shadow, and queue canaries must still agree.
   IW_AUDIT(audit());
   config.validate();
+  // Fabric coverage: every link class this topology can produce must be
+  // priced. Hierarchical topologies (switch/island tiers) paired with a
+  // hand-built fabric that stops at inter_node would otherwise divide by a
+  // zero bandwidth deep inside the first cross-switch transfer.
+  for (int c = 0; c < net::kLinkClassCount; ++c) {
+    const auto cls = static_cast<net::LinkClass>(c);
+    IW_REQUIRE(!topo_.produces(cls) || fabric.params(cls).bandwidth_Bps > 0,
+               "fabric profile '" + fabric.name + "' does not price the " +
+                   net::to_string(cls) +
+                   " link class, which this topology produces");
+  }
   fabric_ = fabric;
   config_ = config;
   eager_limit_ = config_.eager_limit_for(fabric_.eager_limit_bytes);
@@ -467,6 +478,22 @@ std::optional<Duration> Transport::post_send(int src, int dst, int tag,
     trace(obs::TraceEvent::kCreditDemotion, src, dst, bytes);
   send_rendezvous(cls, src, dst, tag, bytes, request);
   return std::nullopt;
+}
+
+void Transport::post_ghost_send(int src, int dst, int tag,
+                                std::int64_t bytes) {
+  IW_REQUIRE(src != dst, "self-sends are not modeled");
+  check_ranks(src, dst);
+  IW_REQUIRE(!nic_limited_ && !track_backlog_ && !track_credits_,
+             "ghost sends require the ideal NIC and unbounded eager policy");
+  IW_REQUIRE(bytes <= eager_limit_,
+             "ghost sends must be eager-sized (the planner gates on this)");
+  const net::LinkClass cls = topo_.classify(src, dst);
+  trace(obs::TraceEvent::kPostSend, src, dst, bytes);
+  ++stats_.eager_sends;
+  // The returned local-completion delay is dropped: the ghost's own
+  // timeline is analytic, only the arrival side matters here.
+  (void)send_eager(cls, src, dst, tag, bytes);
 }
 
 Duration Transport::send_eager(net::LinkClass cls, int src, int dst, int tag,

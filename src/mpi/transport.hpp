@@ -173,6 +173,17 @@ class Transport {
   void post_recv(int dst, int src, int tag, std::int64_t bytes,
                  RequestId request);
 
+  /// Fast-forward support: posts an eager send on behalf of a rank that is
+  /// not being event-simulated (a "ghost" at the rim of the active set).
+  /// The ghost has no Process and no Request — the local completion time is
+  /// discarded, because the analytic path already knows the ghost's
+  /// timeline. Restricted to configurations where an eager send cannot
+  /// interact with sender-side protocol state: ideal NIC (no injection
+  /// budget), unbounded eager buffers, no credit window, eager-sized
+  /// payload. The fast-forward planner guarantees these; the IW_REQUIREs
+  /// re-prove them here.
+  void post_ghost_send(int src, int dst, int tag, std::int64_t bytes);
+
   /// Protocol a send of this size would use right now (the static size rule
   /// plus the dynamic finite-buffer and credit-exhaustion fallbacks).
   [[nodiscard]] WireProtocol protocol_for(int src, int dst,

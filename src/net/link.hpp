@@ -17,10 +17,12 @@ enum class LinkClass : std::uint8_t {
   self = 0,          ///< a rank messaging itself (loopback, essentially free)
   intra_socket = 1,  ///< both ranks on the same socket (shared cache/memory)
   inter_socket = 2,  ///< same node, different sockets (QPI/UPI hop)
-  inter_node = 3,    ///< different nodes (InfiniBand / Omni-Path fabric)
+  inter_node = 3,    ///< different nodes, same leaf switch group
+  inter_switch = 4,  ///< different switch groups, same island (spine hop)
+  inter_island = 5,  ///< different islands (dragonfly-ish global links)
 };
 
-inline constexpr int kLinkClassCount = 4;
+inline constexpr int kLinkClassCount = 6;
 
 [[nodiscard]] constexpr const char* to_string(LinkClass c) {
   switch (c) {
@@ -28,6 +30,8 @@ inline constexpr int kLinkClassCount = 4;
     case LinkClass::intra_socket: return "intra-socket";
     case LinkClass::inter_socket: return "inter-socket";
     case LinkClass::inter_node: return "inter-node";
+    case LinkClass::inter_switch: return "inter-switch";
+    case LinkClass::inter_island: return "inter-island";
   }
   return "?";
 }

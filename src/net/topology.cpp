@@ -28,13 +28,57 @@ Topology::Topology(const TopologySpec& spec)
   IW_REQUIRE(spec_.sockets_per_node > 0, "sockets_per_node must be positive");
   IW_REQUIRE(per_socket_ <= spec_.cores_per_socket,
              "cannot place more ranks on a socket than it has cores");
+  IW_REQUIRE(spec_.nodes_per_switch >= 0,
+             "nodes_per_switch must be non-negative (0 = flat fabric)");
+  IW_REQUIRE(spec_.switches_per_island >= 0,
+             "switches_per_island must be non-negative (0 = no islands)");
+  IW_REQUIRE(spec_.switches_per_island == 0 || spec_.nodes_per_switch > 0,
+             "an island tier requires a switch tier (set nodes_per_switch)");
+
   socket_by_rank_.reserve(static_cast<std::size_t>(spec_.ranks));
   node_by_rank_.reserve(static_cast<std::size_t>(spec_.ranks));
+  if (has_switch_tier())
+    switch_by_rank_.reserve(static_cast<std::size_t>(spec_.ranks));
+  if (has_island_tier())
+    island_by_rank_.reserve(static_cast<std::size_t>(spec_.ranks));
+
+  // One pass of running tier counters instead of per-rank divisions: each
+  // table entry increments when the rank index crosses its tier boundary.
+  int socket = 0, in_socket = 0;
+  int node = 0, in_node_sockets = 0;
+  int sw = 0, in_switch_nodes = 0;
+  int island = 0, in_island_switches = 0;
   for (int rank = 0; rank < spec_.ranks; ++rank) {
-    const int socket = rank / per_socket_;
     socket_by_rank_.push_back(socket);
-    node_by_rank_.push_back(socket / spec_.sockets_per_node);
+    node_by_rank_.push_back(node);
+    if (has_switch_tier()) switch_by_rank_.push_back(sw);
+    if (has_island_tier()) island_by_rank_.push_back(island);
+    if (++in_socket == per_socket_) {
+      in_socket = 0;
+      ++socket;
+      if (++in_node_sockets == spec_.sockets_per_node) {
+        in_node_sockets = 0;
+        ++node;
+        if (has_switch_tier() &&
+            ++in_switch_nodes == spec_.nodes_per_switch) {
+          in_switch_nodes = 0;
+          ++sw;
+          if (has_island_tier() &&
+              ++in_island_switches == spec_.switches_per_island) {
+            in_island_switches = 0;
+            ++island;
+          }
+        }
+      }
+    }
   }
+
+  // classify(0, r) covers every producible class under compact placement:
+  // any pair (a, b) crossing a tier boundary implies that boundary lies
+  // below rank b, so the pair (0, b) crosses it too.
+  produces_[static_cast<std::size_t>(LinkClass::self)] = true;
+  for (int rank = 1; rank < spec_.ranks; ++rank)
+    produces_[static_cast<std::size_t>(classify(0, rank))] = true;
 }
 
 int Topology::socket_of(int rank) const {
@@ -47,12 +91,35 @@ int Topology::node_of(int rank) const {
   return node_by_rank_[static_cast<std::size_t>(rank)];
 }
 
+int Topology::switch_of(int rank) const {
+  IW_REQUIRE(rank >= 0 && rank < spec_.ranks, "rank out of range");
+  IW_REQUIRE(has_switch_tier(), "topology has no switch tier");
+  return switch_by_rank_[static_cast<std::size_t>(rank)];
+}
+
+int Topology::island_of(int rank) const {
+  IW_REQUIRE(rank >= 0 && rank < spec_.ranks, "rank out of range");
+  IW_REQUIRE(has_island_tier(), "topology has no island tier");
+  return island_by_rank_[static_cast<std::size_t>(rank)];
+}
+
 int Topology::sockets() const {
   return (spec_.ranks + per_socket_ - 1) / per_socket_;
 }
 
 int Topology::nodes() const {
   return (sockets() + spec_.sockets_per_node - 1) / spec_.sockets_per_node;
+}
+
+int Topology::switches() const {
+  IW_REQUIRE(has_switch_tier(), "topology has no switch tier");
+  return (nodes() + spec_.nodes_per_switch - 1) / spec_.nodes_per_switch;
+}
+
+int Topology::islands() const {
+  IW_REQUIRE(has_island_tier(), "topology has no island tier");
+  return (switches() + spec_.switches_per_island - 1) /
+         spec_.switches_per_island;
 }
 
 }  // namespace iw::net

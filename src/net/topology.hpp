@@ -1,11 +1,23 @@
-// Hierarchical cluster topology: ranks -> cores -> sockets -> nodes.
+// Hierarchical cluster topology: ranks -> cores -> sockets -> nodes ->
+// switch groups -> islands.
 //
 // Ranks are mapped onto cores in compact order (fill socket 0 of node 0,
 // then socket 1 of node 0, ...), matching the process-core affinity the
 // paper enforces ("process-core affinity was enforced using the available
 // facilities in the MPI implementation").
+//
+// Above the node, two optional fabric tiers model machine-scale layouts in
+// the style of Slurm's switch-topology plugin: leaf switch groups
+// (`nodes_per_switch` nodes behind one leaf switch) and islands
+// (`switches_per_island` switch groups behind one spine/global tier). Both
+// default to 0 = disabled, which reproduces the flat fabric exactly:
+// a flat topology never produces inter_switch/inter_island links, so every
+// pre-hierarchy configuration is bit-for-bit unchanged. Classification
+// stays division-free: all tiers are precomputed rank-indexed tables built
+// once at construction.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +31,9 @@ struct TopologySpec {
   int cores_per_socket = 10; ///< paper: ten-core Ivy Bridge / Broadwell CPUs
   int sockets_per_node = 2;  ///< paper: dual-socket nodes
   int ranks_per_socket = 0;  ///< ranks placed per socket; 0 = fill all cores
+  int nodes_per_switch = 0;  ///< nodes behind one leaf switch; 0 = flat fabric
+  int switches_per_island = 0;  ///< switch groups per island; 0 = no islands
+                                ///< (requires nodes_per_switch > 0 when set)
 
   /// One rank per node (paper's "PPN=1" runs).
   [[nodiscard]] static TopologySpec one_rank_per_node(int nodes);
@@ -35,13 +50,48 @@ class Topology {
   [[nodiscard]] int ranks_per_node() const {
     return per_socket_ * spec_.sockets_per_node;
   }
+  /// Ranks behind one leaf switch (0 when the switch tier is disabled).
+  [[nodiscard]] int ranks_per_switch() const {
+    return ranks_per_node() * spec_.nodes_per_switch;
+  }
+  /// Ranks per island (0 when the island tier is disabled).
+  [[nodiscard]] int ranks_per_island() const {
+    return ranks_per_switch() * spec_.switches_per_island;
+  }
 
   [[nodiscard]] int socket_of(int rank) const;  ///< global socket index
   [[nodiscard]] int node_of(int rank) const;
+  [[nodiscard]] int switch_of(int rank) const;  ///< leaf switch group index
+  [[nodiscard]] int island_of(int rank) const;
   [[nodiscard]] int sockets() const;  ///< number of (partially) occupied sockets
   [[nodiscard]] int nodes() const;    ///< number of (partially) occupied nodes
+  [[nodiscard]] int switches() const;
+  [[nodiscard]] int islands() const;
 
-  /// Classifies the link between two ranks. O(1): rank -> socket/node is
+  [[nodiscard]] bool has_switch_tier() const {
+    return spec_.nodes_per_switch > 0;
+  }
+  [[nodiscard]] bool has_island_tier() const {
+    return spec_.switches_per_island > 0;
+  }
+
+  /// The translational period of link classification: classify(a, b) ==
+  /// classify(a + P, b + P) for every pair shifted by a multiple of P
+  /// (all tier sizes divide the topmost tier's rank count). The analytic
+  /// fast-forward path keys its reference-ring synthesis on this.
+  [[nodiscard]] int pattern_period() const {
+    if (has_island_tier()) return ranks_per_island();
+    if (has_switch_tier()) return ranks_per_switch();
+    return ranks_per_node();
+  }
+
+  /// Whether any rank pair of this topology maps to `cls`. Transport
+  /// construction checks that the fabric prices every producible class.
+  [[nodiscard]] bool produces(LinkClass cls) const {
+    return produces_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Classifies the link between two ranks. O(1): rank -> tier indices are
   /// precomputed at construction, so the per-message hot path never
   /// divides (the transport classifies every send, arrival, and handshake
   /// leg against this).
@@ -54,7 +104,13 @@ class Topology {
     if (socket_by_rank_[ia] == socket_by_rank_[ib])
       return LinkClass::intra_socket;
     if (node_by_rank_[ia] == node_by_rank_[ib]) return LinkClass::inter_socket;
-    return LinkClass::inter_node;
+    if (!has_switch_tier() ||
+        switch_by_rank_[ia] == switch_by_rank_[ib])
+      return LinkClass::inter_node;
+    if (!has_island_tier() ||
+        island_by_rank_[ia] == island_by_rank_[ib])
+      return LinkClass::inter_switch;
+    return LinkClass::inter_island;
   }
 
  private:
@@ -62,6 +118,9 @@ class Topology {
   int per_socket_;
   std::vector<std::int32_t> socket_by_rank_;
   std::vector<std::int32_t> node_by_rank_;
+  std::vector<std::int32_t> switch_by_rank_;  ///< empty when tier disabled
+  std::vector<std::int32_t> island_by_rank_;  ///< empty when tier disabled
+  std::array<bool, static_cast<std::size_t>(kLinkClassCount)> produces_{};
 };
 
 }  // namespace iw::net

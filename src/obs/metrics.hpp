@@ -70,7 +70,10 @@ class BandwidthDomain;
   X(sweep_workers, "sweep.workers", gauge)                                  \
   X(sweep_worker_busy_seconds, "sweep.worker_busy_seconds", gauge)          \
   X(tracer_records, "tracer.records", gauge)                                \
-  X(tracer_dropped, "tracer.dropped", gauge)
+  X(tracer_dropped, "tracer.dropped", gauge)                                \
+  X(engine_ffwd_skips, "engine.ffwd_skips", counter)                        \
+  X(engine_ffwd_time_skipped, "engine.ffwd_time_skipped", counter)          \
+  X(mem_peak_bytes_per_rank, "mem.peak_bytes_per_rank", gauge)
 
 namespace iw::obs {
 

@@ -49,7 +49,8 @@ class Cli;
   X(nic_depth, int, "nic-depth", "nic_depth", 0)                             \
   X(eager_credits, int, "eager-credits", "eager_credits", 0)                 \
   X(rdv_flavor, iw::mpi::RendezvousFlavor, "rdv-flavor", "rdv_flavor",       \
-    iw::mpi::RendezvousFlavor::two_sided)
+    iw::mpi::RendezvousFlavor::two_sided)                                    \
+  X(switch_nodes, int, "switch-nodes", "switch_nodes", 0)
 
 // Per-point protocol-counter columns, surfaced from the transport's run
 // statistics through the metrics registry. Declared once here, like the

@@ -158,6 +158,9 @@ const std::vector<ColumnDef>& column_table() {
                                           kExact),
       col<&SweepRecord::peak_events_pending>("peak_events_pending",
                                              ColumnType::u64, kExact),
+      col<&SweepRecord::ffwd_skips>("ffwd_skips", ColumnType::u64, kExact),
+      col<&SweepRecord::ffwd_time_skipped_us>("ffwd_time_skipped_us",
+                                              ColumnType::u64, kExact),
   };
   return table;
 }
@@ -247,6 +250,9 @@ SweepRecord reduce(const SweepPoint& point, const core::WaveResult& result) {
 #undef IW_METRIC_REDUCE
   rec.events_processed = result.events_processed;
   rec.peak_events_pending = result.peak_events_pending;
+  rec.ffwd_skips = result.ffwd_skips;
+  rec.ffwd_time_skipped_us =
+      static_cast<std::uint64_t>(result.ffwd_time_skipped.ns() / 1000);
   return rec;
 }
 

@@ -61,6 +61,10 @@ struct SweepRecord {
   // Simulation cost (engine counters).
   std::uint64_t events_processed = 0;
   std::uint64_t peak_events_pending = 0;
+  // Fast-forward accounting: rank-steps skipped and simulated time never
+  // event-walked (microseconds, exact). Zero when ffwd is off/ineligible.
+  std::uint64_t ffwd_skips = 0;
+  std::uint64_t ffwd_time_skipped_us = 0;
 };
 
 /// Value type of one schema column.

@@ -186,6 +186,34 @@ Scenario grid2d_wave() {
   return s;  // 6 points
 }
 
+Scenario scale_wave() {
+  Scenario s;
+  s.name = "scale_wave";
+  s.summary =
+      "machine-scale rank counts: the wave's local observables are "
+      "np-invariant, and fast-forward makes the 100k-rank point tractable";
+  s.paper_ref = "Sec. VI (cluster-scale outlook) extension";
+  s.spec.delay_ms = {12};
+  s.spec.msg_bytes = {8192};
+  // The one scenario where np is the real axis. The delay touches ~d*steps
+  // ranks regardless of np; everything beyond the light cone is silent and
+  // fast-forward synthesizes it analytically (ffwd = auto below).
+  s.spec.np = {256, 2048, 102400};
+  // Packed sockets under a leaf-switch tier: pattern period
+  // 2 ranks/socket x 2 sockets x 8 nodes = 32 ranks/switch, so silent
+  // bulk ranks repeat with period 32 and the residue synthesis applies.
+  s.spec.ppn = {2};
+  s.spec.switch_nodes = {8};
+  s.spec.steps = 20;
+  s.spec.system_noise = "none";  // ffwd eligibility: no stochastic ranks
+  s.spec.ffwd = "auto";
+  // Packed placement + the switch tier congest intra-node links; same
+  // Eq. 2 slack as ppn_contrast.
+  s.oracle.max_speed_rel_err = 0.35;
+  s.quick_subset = {0, 1};  // small-np points; the 100k point is full-only
+  return s;  // 3 points
+}
+
 }  // namespace
 
 const std::vector<Scenario>& scenario_catalog() {
@@ -194,6 +222,7 @@ const std::vector<Scenario>& scenario_catalog() {
       eager_rendezvous_crossover(), ppn_contrast(),
       noise_damping(),      grid2d_wave(),
       nic_injection_sweep(), credit_flow_control(),
+      scale_wave(),
   };
   return catalog;
 }

@@ -56,6 +56,9 @@ core::WaveExperiment build_experiment(const SweepSpec& spec,
   exp.cluster.transport.nic.injection_depth = pt.nic_depth;
   exp.cluster.transport.eager.credit_window = pt.eager_credits;
   exp.cluster.transport.rendezvous.flavor = pt.rdv_flavor;
+  // The switch tier rides on whatever node shape the ppn axis produced.
+  exp.cluster.topo.nodes_per_switch = pt.switch_nodes;
+  exp.ffwd = core::ffwd_mode_from_string(spec.ffwd);
 
   if (spec.system_noise != "none")
     exp.cluster.system_noise = noise::NoiseSpec::system(spec.system_noise);
@@ -100,6 +103,8 @@ std::vector<SweepPoint> expand(const SweepSpec& spec) {
     IW_REQUIRE(d >= 0, "sweep nic_depth must be >= 0 (0 = unlimited)");
   for (const int c : spec.eager_credits)
     IW_REQUIRE(c >= 0, "sweep eager_credits must be >= 0 (0 = unlimited)");
+  for (const int s : spec.switch_nodes)
+    IW_REQUIRE(s >= 0, "sweep switch_nodes must be >= 0 (0 = flat fabric)");
 
   // Odometer over the axis registry: sizes in declaration order, strides
   // built back-to-front so the first axis is slowest and the last fastest

@@ -50,6 +50,8 @@ enum class Workload : std::uint8_t { ring, grid2d };
 ///   nic_depth        — NIC injection budget; 0 = unlimited (ideal NIC)
 ///   eager_credits    — per-destination eager credit window; 0 = unlimited
 ///   rdv_flavor       — rendezvous wire flavor (two_sided/rdma_put/rdma_get)
+///   switch_nodes     — nodes behind one leaf switch; 0 = flat fabric
+///                      (enables the hierarchical inter_switch link tier)
 struct SweepSpec {
   // --- axes (generated from IW_SWEEP_AXES) --------------------------------
 #define IW_AXIS_VECTOR(field, Type, flag, column, default_) \
@@ -70,6 +72,10 @@ struct SweepSpec {
   Duration min_idle = milliseconds(0.5);
   /// Natural system noise profile ("none", "emmy-smt-on", ...).
   std::string system_noise = "emmy-smt-on";
+  /// Fast-forward mode for every point: "off" (default — exact engine
+  /// counters), "auto" (skip silent regions when eligible), or "force"
+  /// (fail loudly if any point is ineligible). See core/fast_forward.hpp.
+  std::string ffwd = "off";
   std::uint64_t campaign_seed = 0x5EEDCA3Bull;
 
   /// Number of grid points (product of axis lengths).

@@ -1,0 +1,370 @@
+#include "verify/baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/table.hpp"
+
+namespace iw::verify {
+namespace {
+
+// ---- minimal JSON reader --------------------------------------------------
+// Covers exactly what verdict_json() emits: objects, arrays, strings with
+// json_str() escapes, numbers (including quoted "nan"/"inf", which land
+// here as plain strings), booleans and null. Unknown fields are parsed and
+// ignored, so older/newer verdict schemas still summarize.
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [name, value] : members)
+      if (name == key) return &value;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (p_ != end_) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("verdict JSON: " + what + " at byte " +
+                             std::to_string(offset_));
+  }
+
+  [[nodiscard]] bool eof() const { return p_ == end_; }
+
+  char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return *p_;
+  }
+
+  char next() {
+    const char c = peek();
+    ++p_;
+    ++offset_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (!eof() && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+      next();
+  }
+
+  bool consume_word(const char* word) {
+    const char* q = p_;
+    for (const char* w = word; *w; ++w, ++q)
+      if (q == end_ || *q != *w) return false;
+    while (p_ != q) next();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::string;
+      v.text = string();
+      return v;
+    }
+    if (consume_word("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::boolean;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::boolean;
+      return v;
+    }
+    if (consume_word("null")) return {};
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code *= 16;
+            if (h >= '0' && h <= '9') code += h - '0';
+            else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+            else fail("bad \\u escape");
+          }
+          // json_str only emits \u escapes for control bytes; anything
+          // beyond Latin-1 would need surrogate handling we don't accept.
+          if (code > 0xFF) fail("non-Latin-1 \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown string escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    std::string digits;
+    if (peek() == '-') digits += next();
+    while (!eof() && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                      *p_ == 'E' || *p_ == '+' || *p_ == '-'))
+      digits += next();
+    if (digits.empty() || digits == "-") fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::number;
+    std::size_t consumed = 0;
+    try {
+      v.number = std::stod(digits, &consumed);
+    } catch (const std::exception&) {
+      fail("malformed number '" + digits + "'");
+    }
+    if (consumed != digits.size()) fail("malformed number '" + digits + "'");
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+  std::size_t offset_ = 0;
+};
+
+// ---- verdict-shape extraction ---------------------------------------------
+
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         JsonValue::Kind kind, const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != kind)
+    throw std::runtime_error(std::string("verdict JSON: ") + what +
+                             " needs a '" + key + "' field");
+  return *v;
+}
+
+std::size_t array_size(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::array ? v->items.size()
+                                                           : 0;
+}
+
+VerdictSummary summarize_scenario(const JsonValue& s) {
+  VerdictSummary out;
+  out.name = require(s, "name", JsonValue::Kind::string, "scenario").text;
+  out.pass = require(s, "pass", JsonValue::Kind::boolean, "scenario").boolean;
+  if (const JsonValue* err = s.find("error");
+      err != nullptr && err->kind == JsonValue::Kind::string)
+    out.error = err->text;
+  if (const JsonValue* run = s.find("records_run");
+      run != nullptr && run->kind == JsonValue::Kind::number)
+    out.records_run = static_cast<std::size_t>(run->number);
+  out.field_diffs = array_size(s, "field_diffs");
+  out.structural = array_size(s, "structural");
+  if (const JsonValue* oracle = s.find("oracle");
+      oracle != nullptr && oracle->kind == JsonValue::Kind::object)
+    out.oracle_violations = array_size(*oracle, "violations");
+  if (const JsonValue* muts = s.find("mutations");
+      muts != nullptr && muts->kind == JsonValue::Kind::array)
+    for (const JsonValue& m : muts->items)
+      if (const JsonValue* caught = m.find("caught");
+          caught != nullptr && !(caught->kind == JsonValue::Kind::boolean &&
+                                 caught->boolean))
+        ++out.mutations_missed;
+  return out;
+}
+
+/// Total offense count of a failing scenario, for the degraded comparison.
+std::size_t offenses(const VerdictSummary& s) {
+  return s.field_diffs + s.structural + s.oracle_violations +
+         s.mutations_missed + (s.error.empty() ? 0 : 1);
+}
+
+std::string summary_detail(const VerdictSummary& s) {
+  if (!s.error.empty()) return "error: " + s.error;
+  std::ostringstream os;
+  os << s.field_diffs << " field diffs, " << s.structural << " structural, "
+     << s.oracle_violations << " oracle violations, " << s.mutations_missed
+     << " missed probes";
+  return os.str();
+}
+
+}  // namespace
+
+VerdictDocument parse_verdict_json(const std::string& text) {
+  const JsonValue root = JsonReader(text).parse();
+  if (root.kind != JsonValue::Kind::object)
+    throw std::runtime_error("verdict JSON: document is not an object");
+  VerdictDocument doc;
+  if (const JsonValue* schema = root.find("schema");
+      schema != nullptr && schema->kind == JsonValue::Kind::number)
+    doc.schema = static_cast<int>(schema->number);
+  doc.pass = require(root, "pass", JsonValue::Kind::boolean, "document").boolean;
+  const JsonValue& scenarios =
+      require(root, "scenarios", JsonValue::Kind::array, "document");
+  for (const JsonValue& s : scenarios.items) {
+    if (s.kind != JsonValue::Kind::object)
+      throw std::runtime_error("verdict JSON: scenario entry is not an object");
+    doc.scenarios.push_back(summarize_scenario(s));
+  }
+  return doc;
+}
+
+VerdictDocument load_verdict(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read verdict file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_verdict_json(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+bool BaselineReport::regression() const {
+  return std::any_of(deltas.begin(), deltas.end(), [](const ScenarioDelta& d) {
+    return d.kind == DeltaKind::regressed || d.kind == DeltaKind::degraded ||
+           d.kind == DeltaKind::vanished;
+  });
+}
+
+std::string BaselineReport::render() const {
+  TextTable table;
+  table.columns({"scenario", "transition", "detail"});
+  for (const ScenarioDelta& d : deltas)
+    table.add_row({d.scenario, to_string(d.kind), d.detail});
+  if (table.rows() == 0) table.add_row({"(no scenarios)"});
+  return table.render();
+}
+
+BaselineReport diff_verdicts(const VerdictDocument& baseline,
+                             const VerdictDocument& candidate) {
+  BaselineReport report;
+  const auto find_in = [](const VerdictDocument& doc, const std::string& name)
+      -> const VerdictSummary* {
+    for (const VerdictSummary& s : doc.scenarios)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+
+  for (const VerdictSummary& base : baseline.scenarios) {
+    ScenarioDelta delta;
+    delta.scenario = base.name;
+    const VerdictSummary* cand = find_in(candidate, base.name);
+    if (cand == nullptr) {
+      delta.kind = DeltaKind::vanished;
+      delta.detail = "scenario missing from the candidate verdict";
+    } else if (base.pass && !cand->pass) {
+      delta.kind = DeltaKind::regressed;
+      delta.detail = summary_detail(*cand);
+    } else if (!base.pass && cand->pass) {
+      delta.kind = DeltaKind::fixed;
+      delta.detail = "was: " + summary_detail(base);
+    } else if (!base.pass && !cand->pass) {
+      const bool worse = offenses(*cand) > offenses(base);
+      delta.kind = worse ? DeltaKind::degraded : DeltaKind::unchanged;
+      delta.detail = "still failing: " + summary_detail(*cand);
+    } else {
+      delta.kind = DeltaKind::unchanged;
+      delta.detail = "pass (" + std::to_string(cand->records_run) + " points)";
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+
+  for (const VerdictSummary& cand : candidate.scenarios) {
+    if (find_in(baseline, cand.name) != nullptr) continue;
+    ScenarioDelta delta;
+    delta.scenario = cand.name;
+    // New coverage is welcome, but a brand-new failing scenario must gate
+    // exactly like a pass -> fail transition would.
+    delta.kind = cand.pass ? DeltaKind::appeared : DeltaKind::regressed;
+    delta.detail = cand.pass ? "new scenario, passing"
+                             : "new scenario FAILS: " + summary_detail(cand);
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+}  // namespace iw::verify

@@ -1,0 +1,94 @@
+// Verdict baselining: regression-gating one verdict JSON against another.
+//
+// verify_runner --json writes a machine-readable verdict per run; CI
+// archives it. The baseline mode loads two such documents — the baseline
+// (e.g. from the last green revision) and a candidate (a fresh run) — and
+// classifies every scenario's transition: regressed (pass -> fail), fixed,
+// degraded (still failing, but worse), vanished (coverage lost), appeared,
+// or unchanged. A report with any regression-class delta gates the build.
+//
+// Parsing is self-contained: a minimal JSON reader for the verdict-document
+// shape (objects, arrays, strings with json_str() escapes, numbers, bools),
+// so the gate needs no external parser and works on any archived verdict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iw::verify {
+
+/// Per-scenario summary extracted from a verdict document. Counts are
+/// sizes of the verdict's offense arrays, not re-derived from records.
+struct VerdictSummary {
+  std::string name;
+  bool pass = false;
+  std::string error;  ///< infrastructure failure recorded in the verdict
+  std::size_t records_run = 0;
+  std::size_t field_diffs = 0;
+  std::size_t structural = 0;
+  std::size_t oracle_violations = 0;
+  std::size_t mutations_missed = 0;  ///< probes the differ failed to catch
+};
+
+/// One parsed verdict document (the output of verdict_json()).
+struct VerdictDocument {
+  int schema = 0;
+  bool pass = false;
+  std::vector<VerdictSummary> scenarios;
+};
+
+/// Parses a verdict JSON document. Throws std::runtime_error on malformed
+/// JSON or a document missing the verdict shape ("scenarios" array with
+/// named entries).
+[[nodiscard]] VerdictDocument parse_verdict_json(const std::string& text);
+
+/// Reads and parses a verdict file. Throws std::runtime_error when the
+/// file cannot be read or fails to parse.
+[[nodiscard]] VerdictDocument load_verdict(const std::string& path);
+
+/// Classification of one scenario's baseline -> candidate transition.
+enum class DeltaKind : std::uint8_t {
+  regressed,  ///< passed in the baseline, fails in the candidate
+  fixed,      ///< failed in the baseline, passes in the candidate
+  degraded,   ///< fails in both, with strictly more offenses now
+  vanished,   ///< in the baseline only: verification coverage was lost
+  appeared,   ///< in the candidate only (and passing)
+  unchanged,
+};
+
+[[nodiscard]] constexpr const char* to_string(DeltaKind k) {
+  switch (k) {
+    case DeltaKind::regressed: return "regressed";
+    case DeltaKind::fixed: return "fixed";
+    case DeltaKind::degraded: return "degraded";
+    case DeltaKind::vanished: return "vanished";
+    case DeltaKind::appeared: return "appeared";
+    case DeltaKind::unchanged: return "unchanged";
+  }
+  return "?";
+}
+
+struct ScenarioDelta {
+  std::string scenario;
+  DeltaKind kind = DeltaKind::unchanged;
+  std::string detail;
+};
+
+struct BaselineReport {
+  std::vector<ScenarioDelta> deltas;  ///< baseline order, new names appended
+
+  /// True when any delta gates: regressed, degraded, or vanished. A new
+  /// scenario that *fails* is classified regressed, so it gates too.
+  [[nodiscard]] bool regression() const;
+
+  /// Human-readable per-scenario transition table.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Diffs two parsed verdicts scenario-by-scenario (matched by name).
+[[nodiscard]] BaselineReport diff_verdicts(const VerdictDocument& baseline,
+                                           const VerdictDocument& candidate);
+
+}  // namespace iw::verify

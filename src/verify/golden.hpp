@@ -30,7 +30,10 @@ namespace iw::verify {
 /// v3: the IW_METRIC_COLUMNS protocol counters (nic_backlogged,
 /// deferred_pushes, unexpected_eager, unexpected_rts) join the observables
 /// between eager_demotions and the engine-cost columns.
-inline constexpr int kGoldenSchemaVersion = 3;
+/// v4: the switch_nodes axis joins the axis block, and the fast-forward
+/// accounting columns (ffwd_skips, ffwd_time_skipped_us) land after the
+/// engine-cost columns.
+inline constexpr int kGoldenSchemaVersion = 4;
 
 struct GoldenCorpus {
   int schema_version = kGoldenSchemaVersion;

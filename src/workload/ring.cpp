@@ -53,34 +53,60 @@ std::vector<int> recv_peers(const RingSpec& spec, int rank) {
   return peers;
 }
 
-std::vector<mpi::Program> build_ring(const RingSpec& spec,
-                                     std::span<const DelaySpec> delays) {
-  validate(spec);
+namespace {
 
-  // Index delays by (rank, step) for O(1) lookup while emitting.
+/// Emits one rank's op stream into `prog`; `delay_at` is the (rank, step)
+/// -> duration index shared by the whole-ring and single-rank builders so
+/// both emit bit-identical programs.
+void emit_ring_rank(const RingSpec& spec, int rank,
+                    const std::map<std::pair<int, int>, Duration>& delay_at,
+                    mpi::Program& prog) {
+  const auto sends = send_peers(spec, rank);
+  const auto recvs = recv_peers(spec, rank);
+  for (int step = 0; step < spec.steps; ++step) {
+    prog.mark(step);
+    prog.compute(spec.texec, spec.noisy);
+    if (const auto it = delay_at.find({rank, step}); it != delay_at.end())
+      prog.inject(it->second);
+    for (const int peer : sends) prog.isend(peer, spec.msg_bytes, step);
+    for (const int peer : recvs) prog.irecv(peer, spec.msg_bytes, step);
+    prog.waitall();
+  }
+}
+
+/// Index delays by (rank, step) for O(1) lookup while emitting.
+std::map<std::pair<int, int>, Duration> index_delays(
+    const RingSpec& spec, std::span<const DelaySpec> delays) {
   std::map<std::pair<int, int>, Duration> delay_at;
   for (const auto& d : delays) {
     IW_REQUIRE(d.rank >= 0 && d.rank < spec.ranks, "delay rank out of range");
     IW_REQUIRE(d.step >= 0 && d.step < spec.steps, "delay step out of range");
     delay_at[{d.rank, d.step}] += d.duration;
   }
+  return delay_at;
+}
 
+}  // namespace
+
+std::vector<mpi::Program> build_ring(const RingSpec& spec,
+                                     std::span<const DelaySpec> delays) {
+  validate(spec);
+  const auto delay_at = index_delays(spec, delays);
   std::vector<mpi::Program> programs(static_cast<std::size_t>(spec.ranks));
-  for (int rank = 0; rank < spec.ranks; ++rank) {
-    auto& prog = programs[static_cast<std::size_t>(rank)];
-    const auto sends = send_peers(spec, rank);
-    const auto recvs = recv_peers(spec, rank);
-    for (int step = 0; step < spec.steps; ++step) {
-      prog.mark(step);
-      prog.compute(spec.texec, spec.noisy);
-      if (const auto it = delay_at.find({rank, step}); it != delay_at.end())
-        prog.inject(it->second);
-      for (const int peer : sends) prog.isend(peer, spec.msg_bytes, step);
-      for (const int peer : recvs) prog.irecv(peer, spec.msg_bytes, step);
-      prog.waitall();
-    }
-  }
+  for (int rank = 0; rank < spec.ranks; ++rank)
+    emit_ring_rank(spec, rank, delay_at,
+                   programs[static_cast<std::size_t>(rank)]);
   return programs;
+}
+
+mpi::Program build_ring_rank(const RingSpec& spec, int rank,
+                             std::span<const DelaySpec> delays) {
+  validate(spec);
+  IW_REQUIRE(rank >= 0 && rank < spec.ranks, "rank out of range");
+  const auto delay_at = index_delays(spec, delays);
+  mpi::Program prog;
+  emit_ring_rank(spec, rank, delay_at, prog);
+  return prog;
 }
 
 }  // namespace iw::workload

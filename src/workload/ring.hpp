@@ -58,6 +58,14 @@ struct DelaySpec {
 [[nodiscard]] std::vector<mpi::Program> build_ring(
     const RingSpec& spec, std::span<const DelaySpec> delays = {});
 
+/// Builds the Program of a single rank — identical op stream to the
+/// corresponding build_ring entry. The fast-forward path uses this to
+/// materialize only the active ranks' programs: at machine scale the silent
+/// majority never gets a Program at all.
+[[nodiscard]] mpi::Program build_ring_rank(const RingSpec& spec, int rank,
+                                           std::span<const DelaySpec> delays =
+                                               {});
+
 /// Neighbor list (send targets) of `rank` under the spec; exposed for tests
 /// and for the analytic Tcomm estimate.
 [[nodiscard]] std::vector<int> send_peers(const RingSpec& spec, int rank);

@@ -1,0 +1,208 @@
+// Verdict baselining: parsing archived verdict JSON and classifying
+// baseline -> candidate transitions, driven by doctored verdict documents.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "verify/baseline.hpp"
+#include "verify/verify.hpp"
+
+namespace iw::verify {
+namespace {
+
+/// A doctored two-scenario verdict: speed_vs_delay passes, decay_vs_size
+/// fails with one field diff and one missed mutation probe.
+const char* kBaselineJson = R"({"schema":2,"pass":false,"scenarios":[
+  {"name":"speed_vs_delay","golden":"tests/golden/speed_vs_delay.csv",
+   "pass":true,"error":"","records_run":52,"seconds":1.5,
+   "records_compared":52,"field_diffs":[],"structural":[],
+   "oracle":{"records_checked":52,"speed_checks":40,"violations":[]},
+   "mutations":[{"target":"golden","column":"seed","record_index":3,
+                 "caught":true,"detail":"differ named it"}]},
+  {"name":"decay_vs_size","golden":"tests/golden/decay_vs_size.csv",
+   "pass":false,"error":"","records_run":15,"seconds":0.8,
+   "records_compared":15,
+   "field_diffs":[{"record_index":7,"column":"cycle_us",
+                   "expected":"3100.5","actual":"3190.2","rel_err":0.028}],
+   "structural":[],
+   "oracle":{"records_checked":15,"speed_checks":12,"violations":[]},
+   "mutations":[{"target":"sim","column":"cycle_us","record_index":7,
+                 "caught":false,"detail":"differ MISSED it"}]}
+]})";
+
+/// The doctored candidate: speed_vs_delay now FAILS (a regression, with an
+/// oracle violation), decay_vs_size is fixed, and a new scenario appears.
+const char* kCandidateJson = R"({"schema":2,"pass":false,"scenarios":[
+  {"name":"speed_vs_delay","pass":false,"error":"","records_run":52,
+   "field_diffs":[],"structural":["record count 51 != 52"],
+   "oracle":{"violations":[{"record_index":9,"check":"speed",
+     "column":"v_up_ranks_per_sec","value":901.0,"bound":700.0,
+     "detail":"fitted speed off Eq. 2"}]},
+   "mutations":[]},
+  {"name":"decay_vs_size","pass":true,"error":"","records_run":15,
+   "field_diffs":[],"structural":[],"oracle":{"violations":[]},
+   "mutations":[]},
+  {"name":"scale_wave","pass":true,"error":"","records_run":3,
+   "field_diffs":[],"structural":[],"oracle":{"violations":[]},
+   "mutations":[]}
+]})";
+
+TEST(VerdictParse, ExtractsSummaries) {
+  const VerdictDocument doc = parse_verdict_json(kBaselineJson);
+  EXPECT_EQ(doc.schema, 2);
+  EXPECT_FALSE(doc.pass);
+  ASSERT_EQ(doc.scenarios.size(), 2u);
+  EXPECT_EQ(doc.scenarios[0].name, "speed_vs_delay");
+  EXPECT_TRUE(doc.scenarios[0].pass);
+  EXPECT_EQ(doc.scenarios[0].records_run, 52u);
+  EXPECT_EQ(doc.scenarios[0].field_diffs, 0u);
+  EXPECT_EQ(doc.scenarios[0].mutations_missed, 0u);
+  EXPECT_EQ(doc.scenarios[1].name, "decay_vs_size");
+  EXPECT_FALSE(doc.scenarios[1].pass);
+  EXPECT_EQ(doc.scenarios[1].field_diffs, 1u);
+  EXPECT_EQ(doc.scenarios[1].mutations_missed, 1u);
+}
+
+TEST(VerdictParse, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_verdict_json("{"), std::runtime_error);
+  EXPECT_THROW((void)parse_verdict_json("[1,2,3]"), std::runtime_error);
+  EXPECT_THROW((void)parse_verdict_json("{\"pass\":true}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_verdict_json(
+                   "{\"pass\":true,\"scenarios\":[{\"pass\":true}]}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_verdict_json("{\"pass\":true,"
+                                        "\"scenarios\":[]} trailing"),
+               std::runtime_error);
+}
+
+TEST(VerdictParse, HandlesStringEscapes) {
+  const VerdictDocument doc = parse_verdict_json(
+      R"({"pass":false,"scenarios":[{"name":"x","pass":false,)"
+      R"("error":"line\none \"quoted\" 	tab"}]})");
+  EXPECT_EQ(doc.scenarios[0].error, "line\none \"quoted\" \ttab");
+}
+
+TEST(BaselineDiff, ClassifiesEveryTransition) {
+  const BaselineReport report =
+      diff_verdicts(parse_verdict_json(kBaselineJson),
+                    parse_verdict_json(kCandidateJson));
+  ASSERT_EQ(report.deltas.size(), 3u);
+
+  EXPECT_EQ(report.deltas[0].scenario, "speed_vs_delay");
+  EXPECT_EQ(report.deltas[0].kind, DeltaKind::regressed);
+  EXPECT_NE(report.deltas[0].detail.find("1 structural"), std::string::npos);
+
+  EXPECT_EQ(report.deltas[1].scenario, "decay_vs_size");
+  EXPECT_EQ(report.deltas[1].kind, DeltaKind::fixed);
+
+  EXPECT_EQ(report.deltas[2].scenario, "scale_wave");
+  EXPECT_EQ(report.deltas[2].kind, DeltaKind::appeared);
+
+  EXPECT_TRUE(report.regression());
+  const std::string table = report.render();
+  EXPECT_NE(table.find("regressed"), std::string::npos);
+  EXPECT_NE(table.find("fixed"), std::string::npos);
+}
+
+TEST(BaselineDiff, CleanWhenNothingRegresses) {
+  // Candidate == baseline: two unchanged scenarios, no gate.
+  const VerdictDocument doc = parse_verdict_json(kBaselineJson);
+  const BaselineReport report = diff_verdicts(doc, doc);
+  ASSERT_EQ(report.deltas.size(), 2u);
+  EXPECT_EQ(report.deltas[0].kind, DeltaKind::unchanged);
+  EXPECT_EQ(report.deltas[1].kind, DeltaKind::unchanged);
+  EXPECT_FALSE(report.regression());
+}
+
+TEST(BaselineDiff, VanishedCoverageGates) {
+  const BaselineReport report =
+      diff_verdicts(parse_verdict_json(kBaselineJson),
+                    parse_verdict_json(R"({"pass":true,"scenarios":[
+        {"name":"speed_vs_delay","pass":true,"error":"","field_diffs":[],
+         "structural":[],"oracle":{"violations":[]},"mutations":[]}]})"));
+  ASSERT_EQ(report.deltas.size(), 2u);
+  EXPECT_EQ(report.deltas[1].kind, DeltaKind::vanished);
+  EXPECT_TRUE(report.regression());
+}
+
+TEST(BaselineDiff, NewFailingScenarioGates) {
+  const BaselineReport report = diff_verdicts(
+      parse_verdict_json(R"({"pass":true,"scenarios":[]})"),
+      parse_verdict_json(R"({"pass":false,"scenarios":[
+        {"name":"brand_new","pass":false,"error":"golden missing",
+         "field_diffs":[],"structural":[],"oracle":{"violations":[]},
+         "mutations":[]}]})"));
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].kind, DeltaKind::regressed);
+  EXPECT_TRUE(report.regression());
+}
+
+TEST(BaselineDiff, DegradedWhenStillFailingWorse) {
+  const char* worse = R"({"pass":false,"scenarios":[
+    {"name":"decay_vs_size","pass":false,"error":"",
+     "field_diffs":[{"record_index":1,"column":"a","expected":"1",
+                     "actual":"2","rel_err":1.0},
+                    {"record_index":2,"column":"b","expected":"1",
+                     "actual":"2","rel_err":1.0},
+                    {"record_index":3,"column":"c","expected":"1",
+                     "actual":"2","rel_err":1.0}],
+     "structural":[],"oracle":{"violations":[]},"mutations":[]}]})";
+  const char* base_one = R"({"pass":false,"scenarios":[
+    {"name":"decay_vs_size","pass":false,"error":"",
+     "field_diffs":[{"record_index":1,"column":"a","expected":"1",
+                     "actual":"2","rel_err":1.0}],
+     "structural":[],"oracle":{"violations":[]},"mutations":[]}]})";
+  const BaselineReport report = diff_verdicts(parse_verdict_json(base_one),
+                                              parse_verdict_json(worse));
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].kind, DeltaKind::degraded);
+  EXPECT_TRUE(report.regression());
+
+  // Same badness the other way round: still failing, but not worse.
+  const BaselineReport stable = diff_verdicts(parse_verdict_json(worse),
+                                              parse_verdict_json(base_one));
+  EXPECT_EQ(stable.deltas[0].kind, DeltaKind::unchanged);
+  EXPECT_FALSE(stable.regression());
+}
+
+TEST(BaselineDiff, RoundTripsThroughRealVerdictJson) {
+  // A verdict built by the production serializer must parse back with the
+  // same pass/fail and offense counts the differ will see from archives.
+  ScenarioVerdict v;
+  v.scenario = "synthetic";
+  v.golden_file = "tests/golden/synthetic.csv";
+  v.records_run = 4;
+  v.diff.records_compared = 4;
+  FieldDiff d;
+  d.record_index = 2;
+  d.column = "cycle_us";
+  d.expected = "10";
+  d.actual = "11";
+  d.rel_err = 0.1;
+  v.diff.field_diffs.push_back(d);
+  const VerdictDocument doc = parse_verdict_json(verdict_json({v}));
+  ASSERT_EQ(doc.scenarios.size(), 1u);
+  EXPECT_EQ(doc.scenarios[0].name, "synthetic");
+  EXPECT_FALSE(doc.scenarios[0].pass);
+  EXPECT_EQ(doc.scenarios[0].field_diffs, 1u);
+  EXPECT_FALSE(doc.pass);
+}
+
+TEST(BaselineDiff, LoadVerdictReadsFiles) {
+  const std::string path = ::testing::TempDir() + "iw_verdict_baseline.json";
+  {
+    std::ofstream out(path);
+    out << kBaselineJson;
+  }
+  const VerdictDocument doc = load_verdict(path);
+  EXPECT_EQ(doc.scenarios.size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_verdict(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace iw::verify

@@ -34,6 +34,14 @@ Rules (each line of output is `path:line: [rule] message`):
                      publisher (src/obs/metrics.cpp) — a counter the
                      registry never exports is invisible to every metrics
                      consumer and rots silently.
+  soa-hot-structs    the struct-of-arrays hot state (src/mpi/trace.hpp,
+                     src/mpi/process.hpp, src/core/cluster.hpp) must never
+                     grow a per-rank vector-of-objects: nested vectors,
+                     vectors of smart pointers or strings, and node-based
+                     containers (deque/list) re-introduce a heap allocation
+                     per rank and break the fixed memory-per-rank budget the
+                     machine-scale path depends on. Rank state stays flat
+                     slabs plus row descriptors.
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -339,6 +347,37 @@ def check_stats_in_registry(repo: Path) -> list[str]:
     return problems
 
 
+SOA_HOT_FILES = (
+    "src/mpi/trace.hpp",
+    "src/mpi/process.hpp",
+    "src/core/cluster.hpp",
+)
+SOA_BANNED = re.compile(
+    r"std::vector\s*<\s*std::\s*"
+    r"(vector|unique_ptr|shared_ptr|string|deque|list|map|unordered_map)\b"
+    r"|std::(deque|list)\s*<")
+
+
+def check_soa_hot_structs(repo: Path) -> list[str]:
+    """Per-rank vector-of-objects growth in the SoA hot state."""
+    problems = []
+    for rel in SOA_HOT_FILES:
+        path = repo / rel
+        if not path.is_file():
+            continue
+        text = strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            hit = SOA_BANNED.search(line)
+            if hit:
+                problems.append(
+                    f"{rel}:{lineno}: [soa-hot-structs] per-rank "
+                    f"vector-of-objects growth ({hit.group(0).strip()}...) in "
+                    f"an SoA hot struct — rank state must stay flat slabs "
+                    f"plus row descriptors; hoist the nested container into "
+                    f"a shared slab or an object pool")
+    return problems
+
+
 RULES = {
     "banned-construct": check_banned_constructs,
     "source-registration": check_source_registration,
@@ -346,6 +385,7 @@ RULES = {
     "golden-schema": check_golden_schema,
     "transport-config-validate": check_transport_config_validate,
     "stats-in-registry": check_stats_in_registry,
+    "soa-hot-structs": check_soa_hot_structs,
 }
 
 
@@ -389,6 +429,12 @@ def make_clean_tree(root: Path) -> None:
         "  (void)eager.credit_window;\n"
         "  (void)rendezvous.flavor;\n"
         "}\n}\n")
+    (root / "src" / "mpi" / "trace.hpp").write_text(
+        "#pragma once\n#include <vector>\nnamespace iw::mpi {\n"
+        "class Trace {\n"
+        "  std::vector<double> seg_slab_;\n"
+        "  std::vector<int> row_offsets_;\n"
+        "};\n}\n")
     (root / "src" / "obs").mkdir(parents=True)
     (root / "src" / "mpi" / "transport.hpp").write_text(
         "#pragma once\nnamespace iw::mpi {\n"
@@ -440,6 +486,13 @@ def seed_violation(root: Path, rule: str) -> None:
             "    unsigned long eager_sends = 0;\n",
             "    unsigned long eager_sends = 0;\n"
             "    unsigned long ghost_counter = 0;\n"))
+    elif rule == "soa-hot-structs":
+        # A per-rank history vector-of-vectors sneaks into the trace SoA.
+        hpp = root / "src" / "mpi" / "trace.hpp"
+        hpp.write_text(hpp.read_text().replace(
+            "  std::vector<double> seg_slab_;\n",
+            "  std::vector<double> seg_slab_;\n"
+            "  std::vector<std::vector<double>> per_rank_history_;\n"))
     else:
         raise AssertionError(f"no seeder for rule {rule}")
 
