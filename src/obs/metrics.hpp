@@ -73,7 +73,17 @@ class BandwidthDomain;
   X(tracer_dropped, "tracer.dropped", gauge)                                \
   X(engine_ffwd_skips, "engine.ffwd_skips", counter)                        \
   X(engine_ffwd_time_skipped, "engine.ffwd_time_skipped", counter)          \
-  X(mem_peak_bytes_per_rank, "mem.peak_bytes_per_rank", gauge)
+  X(mem_peak_bytes_per_rank, "mem.peak_bytes_per_rank", gauge)              \
+  X(service_queue_depth, "service.queue_depth", gauge)                      \
+  X(service_clients_active, "service.clients_active", gauge)                \
+  X(service_points_per_sec, "service.points_per_sec", gauge)                \
+  X(service_cache_hits, "service.cache_hits", counter)                      \
+  X(service_cache_misses, "service.cache_misses", counter)                  \
+  X(service_points_computed, "service.points_computed", counter)            \
+  X(service_jobs_submitted, "service.jobs_submitted", counter)              \
+  X(service_jobs_rejected, "service.jobs_rejected", counter)                \
+  X(service_jobs_cancelled, "service.jobs_cancelled", counter)              \
+  X(service_sched_decisions, "service.sched_decisions", counter)
 
 namespace iw::obs {
 

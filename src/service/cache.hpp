@@ -1,0 +1,64 @@
+// Content-addressed store of completed sweep points.
+//
+// The campaign service never recomputes physics two clients already paid
+// for: a completed point's SweepRecord is cached under a canonical
+// serialization of everything that determines it — the expanded point's
+// axis values and campaign scalars, the point's RNG seed, and the record
+// schema version. The canonical string is the store key (exact-match, so
+// hash collisions are impossible by construction); the FNV-1a digest of it
+// is the short content address used in logs and status output.
+//
+// The key is built from the *expanded, typed* point, never from client
+// input text: axis values land in IW_SWEEP_AXES registry order regardless
+// of the order a submission declared them in, and numeric values are
+// serialized from their parsed binary form (doubles as exact hexfloats),
+// so "12", "12.0" and "1.2e1" address the same entry. Byte-identity of a
+// cache hit with a fresh run follows from determinism: every record column
+// except `index` is a pure function of the key's inputs, and the service
+// rewrites `index` to the requesting campaign's point index on every hit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sweep/record.hpp"
+#include "sweep/spec.hpp"
+
+namespace iw::service {
+
+/// Canonical cache key of one expanded point. `schema_version` defaults to
+/// the live record-schema version (verify::kGoldenSchemaVersion) — a schema
+/// bump invalidates every cached record, which is exactly right: the cached
+/// bytes could no longer match a fresh run's serialization.
+[[nodiscard]] std::string canonical_point_key(const sweep::SweepSpec& spec,
+                                              const sweep::SweepPoint& pt);
+[[nodiscard]] std::string canonical_point_key(const sweep::SweepSpec& spec,
+                                              const sweep::SweepPoint& pt,
+                                              int schema_version);
+
+/// Short content address (FNV-1a 64, hex) of a canonical key.
+[[nodiscard]] std::string key_address(const std::string& canonical_key);
+
+class PointCache {
+ public:
+  /// The cached record for `key`, or nullptr. The returned pointer stays
+  /// valid until the entry is evicted (the store only grows today).
+  [[nodiscard]] const sweep::SweepRecord* find(const std::string& key) const;
+
+  /// Stores `rec` under `key`. Re-inserting an existing key keeps the first
+  /// record (determinism makes them equal; keeping the first makes that
+  /// checkable by tests instead of silently overwriting).
+  void insert(const std::string& key, const sweep::SweepRecord& rec);
+
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+
+  /// Total bytes of canonical keys held (a coarse footprint gauge).
+  [[nodiscard]] std::size_t key_bytes() const { return key_bytes_; }
+
+ private:
+  std::map<std::string, sweep::SweepRecord> store_;
+  std::size_t key_bytes_ = 0;
+};
+
+}  // namespace iw::service

@@ -70,12 +70,25 @@ JsonlWriter::JsonlWriter(const std::string& path)
 void JsonlWriter::object(
     const std::vector<std::pair<std::string, std::string>>& fields) {
   if (!out_) return;
-  *out_ << '{';
+  *out_ << json_object(fields) << '\n';
+}
+
+void JsonlWriter::raw_line(const std::string& json) {
+  if (!out_) return;
+  *out_ << json << '\n';
+}
+
+std::string json_object(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "{";
   for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i) *out_ << ',';
-    *out_ << json_str(fields[i].first) << ':' << fields[i].second;
+    if (i) out += ',';
+    out += json_str(fields[i].first);
+    out += ':';
+    out += fields[i].second;
   }
-  *out_ << "}\n";
+  out += '}';
+  return out;
 }
 
 std::string json_str(const std::string& s) {

@@ -52,6 +52,12 @@ class JsonlWriter {
 
   void object(const std::vector<std::pair<std::string, std::string>>& fields);
 
+  /// Writes one already-serialized JSON object as a line, verbatim. The
+  /// campaign service streams the exact same bytes over its socket; sharing
+  /// the serialization (json_object below) is what makes "cached replay is
+  /// byte-identical to a sink file" a structural property instead of a hope.
+  void raw_line(const std::string& json);
+
   /// True if this writer actually writes somewhere.
   [[nodiscard]] bool active() const { return static_cast<bool>(out_); }
 
@@ -61,5 +67,11 @@ class JsonlWriter {
 
 /// Encodes `s` as a JSON string literal, quotes included.
 [[nodiscard]] std::string json_str(const std::string& s);
+
+/// Serializes one flat JSON object (no trailing newline). Field values are
+/// raw JSON fragments, exactly as JsonlWriter::object treats them; this is
+/// the single serialization the JSONL sink and the service stream share.
+[[nodiscard]] std::string json_object(
+    const std::vector<std::pair<std::string, std::string>>& fields);
 
 }  // namespace iw

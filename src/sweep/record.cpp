@@ -269,11 +269,15 @@ void CsvSink::write(const SweepRecord& rec) {
 JsonlSink::JsonlSink(const std::string& path) : writer_(path) {}
 
 void JsonlSink::write(const SweepRecord& rec) {
+  writer_.raw_line(record_json_line(rec));
+}
+
+std::string record_json_line(const SweepRecord& rec) {
   std::vector<std::pair<std::string, std::string>> fields;
   for (RecordField& f : record_fields(rec))
     fields.emplace_back(std::move(f.name),
                         f.is_string ? json_str(f.value) : std::move(f.value));
-  writer_.object(fields);
+  return json_object(fields);
 }
 
 std::string render_summary(const std::vector<SweepRecord>& records) {

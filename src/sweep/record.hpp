@@ -124,6 +124,12 @@ struct RecordField {
 [[nodiscard]] SweepRecord reduce(const SweepPoint& point,
                                  const core::WaveResult& result);
 
+/// One serialized JSON-Lines object for `rec` (no trailing newline) — the
+/// exact bytes JsonlSink writes. The campaign service streams these lines
+/// over its socket, so a client-side JSONL file is byte-identical to a
+/// sink-written one by construction.
+[[nodiscard]] std::string record_json_line(const SweepRecord& rec);
+
 /// Destination for a stream of records. The campaign runner guarantees
 /// write() is called from one thread at a time, in ascending index order
 /// for the records it delivers.

@@ -7,211 +7,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace iw::verify {
 namespace {
 
-// ---- minimal JSON reader --------------------------------------------------
-// Covers exactly what verdict_json() emits: objects, arrays, strings with
-// json_str() escapes, numbers (including quoted "nan"/"inf", which land
-// here as plain strings), booleans and null. Unknown fields are parsed and
-// ignored, so older/newer verdict schemas still summarize.
-
-struct JsonValue {
-  enum class Kind : std::uint8_t { null, boolean, number, string, array, object };
-  Kind kind = Kind::null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [name, value] : members)
-      if (name == key) return &value;
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : p_(text.data()), end_(text.data() + text.size()) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (p_ != end_) fail("trailing content after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("verdict JSON: " + what + " at byte " +
-                             std::to_string(offset_));
-  }
-
-  [[nodiscard]] bool eof() const { return p_ == end_; }
-
-  char peek() const {
-    if (eof()) fail("unexpected end of input");
-    return *p_;
-  }
-
-  char next() {
-    const char c = peek();
-    ++p_;
-    ++offset_;
-    return c;
-  }
-
-  void expect(char c) {
-    if (next() != c) fail(std::string("expected '") + c + "'");
-  }
-
-  void skip_ws() {
-    while (!eof() && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
-      next();
-  }
-
-  bool consume_word(const char* word) {
-    const char* q = p_;
-    for (const char* w = word; *w; ++w, ++q)
-      if (q == end_ || *q != *w) return false;
-    while (p_ != q) next();
-    return true;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::string;
-      v.text = string();
-      return v;
-    }
-    if (consume_word("true")) {
-      JsonValue v;
-      v.kind = JsonValue::Kind::boolean;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_word("false")) {
-      JsonValue v;
-      v.kind = JsonValue::Kind::boolean;
-      return v;
-    }
-    if (consume_word("null")) return {};
-    return number();
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::object;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      next();
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.members.emplace_back(std::move(key), value());
-      skip_ws();
-      const char c = next();
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::array;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      next();
-      return v;
-    }
-    while (true) {
-      v.items.push_back(value());
-      skip_ws();
-      const char c = next();
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      const char c = next();
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      const char esc = next();
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          int code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = next();
-            code *= 16;
-            if (h >= '0' && h <= '9') code += h - '0';
-            else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
-            else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
-            else fail("bad \\u escape");
-          }
-          // json_str only emits \u escapes for control bytes; anything
-          // beyond Latin-1 would need surrogate handling we don't accept.
-          if (code > 0xFF) fail("non-Latin-1 \\u escape");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown string escape");
-      }
-    }
-  }
-
-  JsonValue number() {
-    std::string digits;
-    if (peek() == '-') digits += next();
-    while (!eof() && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
-                      *p_ == 'E' || *p_ == '+' || *p_ == '-'))
-      digits += next();
-    if (digits.empty() || digits == "-") fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::number;
-    std::size_t consumed = 0;
-    try {
-      v.number = std::stod(digits, &consumed);
-    } catch (const std::exception&) {
-      fail("malformed number '" + digits + "'");
-    }
-    if (consumed != digits.size()) fail("malformed number '" + digits + "'");
-    return v;
-  }
-
-  const char* p_;
-  const char* end_;
-  std::size_t offset_ = 0;
-};
+// The JSON reader now lives in support/json.hpp (shared with the
+// campaign-service protocol); this file keeps only the verdict-shape
+// extraction.
+using JsonValue = json::Value;
 
 // ---- verdict-shape extraction ---------------------------------------------
 
@@ -273,7 +78,7 @@ std::string summary_detail(const VerdictSummary& s) {
 }  // namespace
 
 VerdictDocument parse_verdict_json(const std::string& text) {
-  const JsonValue root = JsonReader(text).parse();
+  const JsonValue root = json::parse(text, "verdict JSON");
   if (root.kind != JsonValue::Kind::object)
     throw std::runtime_error("verdict JSON: document is not an object");
   VerdictDocument doc;

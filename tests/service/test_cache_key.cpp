@@ -1,0 +1,183 @@
+// Property tests for the campaign service's canonical cache key.
+//
+// The key must be a pure function of what determines a point's record —
+// expanded axis values, campaign scalars, the point seed, and the record
+// schema version — and of nothing else. In particular it must not depend on
+// how a submission *spelled* those values: axis declaration order in the
+// protocol's "axes" object and numeric spelling ("12" vs "12.0" vs "1.2e1")
+// are client-side accidents that land on the same expanded point.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "sweep/spec.hpp"
+#include "verify/golden.hpp"
+
+namespace iw::service {
+namespace {
+
+sweep::SweepSpec base_spec() {
+  sweep::SweepSpec spec;
+  spec.np = {4};
+  spec.steps = 4;
+  spec.texec = milliseconds(0.5);
+  spec.system_noise = "none";
+  return spec;
+}
+
+std::vector<std::string> keys_of(const sweep::SweepSpec& spec) {
+  std::vector<std::string> keys;
+  for (const sweep::SweepPoint& pt : sweep::expand(spec))
+    keys.push_back(canonical_point_key(spec, pt));
+  return keys;
+}
+
+TEST(CacheKey, DeterministicAndDistinctAcrossPoints) {
+  const sweep::SweepSpec spec = [] {
+    sweep::SweepSpec s = base_spec();
+    s.delay_ms = {6.0, 12.0};
+    s.msg_bytes = {4096, 65536};
+    return s;
+  }();
+  const std::vector<std::string> a = keys_of(spec);
+  const std::vector<std::string> b = keys_of(spec);
+  EXPECT_EQ(a, b);
+  const std::set<std::string> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size()) << "points within a campaign collide";
+}
+
+TEST(CacheKey, InvariantUnderAxisDeclarationOrder) {
+  // Two protocol submissions of the same campaign, axes declared in
+  // opposite orders. The expanded points must address the same entries.
+  const std::string fwd =
+      R"({"steps":4,"texec_ns":500000,"system_noise":"none",)"
+      R"("axes":{"delay_ms":[6,12],"msg_bytes":[4096],"np":[4]}})";
+  const std::string rev =
+      R"({"steps":4,"texec_ns":500000,"system_noise":"none",)"
+      R"("axes":{"np":[4],"msg_bytes":[4096],"delay_ms":[6,12]}})";
+  const sweep::SweepSpec a = spec_from_json(json::parse(fwd));
+  const sweep::SweepSpec b = spec_from_json(json::parse(rev));
+  EXPECT_EQ(keys_of(a), keys_of(b));
+}
+
+TEST(CacheKey, InvariantUnderNumericSpelling) {
+  // "12", "12.0" and "1.2e1" parse to the same double, hence the same key.
+  const char* spellings[] = {
+      R"({"axes":{"delay_ms":[12],"np":[4]},"steps":4,"system_noise":"none"})",
+      R"({"axes":{"delay_ms":[12.0],"np":[4]},"steps":4,"system_noise":"none"})",
+      R"({"axes":{"delay_ms":[1.2e1],"np":[4]},"steps":4,"system_noise":"none"})",
+  };
+  const std::vector<std::string> first =
+      keys_of(spec_from_json(json::parse(spellings[0])));
+  for (const char* text : spellings)
+    EXPECT_EQ(keys_of(spec_from_json(json::parse(text))), first) << text;
+}
+
+TEST(CacheKey, DistinctAcrossSeedSchemaAndPoint) {
+  const sweep::SweepSpec spec = base_spec();
+  const auto pts = sweep::expand(spec);
+  ASSERT_EQ(pts.size(), 1u);
+  const std::string key = canonical_point_key(spec, pts[0]);
+
+  // Seed: a different campaign seed changes every point's fork.
+  sweep::SweepSpec reseeded = spec;
+  reseeded.campaign_seed += 1;
+  EXPECT_NE(canonical_point_key(reseeded, sweep::expand(reseeded)[0]), key);
+
+  // Schema version: a bump invalidates all cached records.
+  EXPECT_NE(canonical_point_key(spec, pts[0],
+                                verify::kGoldenSchemaVersion + 1),
+            key);
+  EXPECT_EQ(canonical_point_key(spec, pts[0], verify::kGoldenSchemaVersion),
+            key);
+
+  // Point: any axis perturbation moves the address.
+  sweep::SweepSpec moved = spec;
+  moved.delay_ms = {spec.delay_ms[0] + 1.0};
+  EXPECT_NE(canonical_point_key(moved, sweep::expand(moved)[0]), key);
+}
+
+TEST(CacheKey, AddressIsStableHex) {
+  const std::string addr = key_address("iw-point;schema=4;workload=ring");
+  EXPECT_EQ(addr.size(), 16u);
+  EXPECT_EQ(addr, key_address("iw-point;schema=4;workload=ring"));
+  EXPECT_NE(addr, key_address("iw-point;schema=5;workload=ring"));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cases: 200 seeded campaigns. For each, the key must (a) be
+// reproducible, (b) survive a protocol round-trip (spec -> JSON -> spec),
+// (c) separate points within the campaign, and (d) move when the campaign
+// seed moves.
+// ---------------------------------------------------------------------------
+
+sweep::SweepSpec random_spec(Rng& rng) {
+  sweep::SweepSpec spec;
+  spec.workload = sweep::Workload::ring;
+  spec.steps = 2 + static_cast<int>(rng.uniform_below(6));
+  spec.texec = microseconds(100.0 + rng.uniform(0.0, 400.0));
+  spec.distance = 1 + static_cast<int>(rng.uniform_below(2));
+  spec.injection_at = rng.uniform(0.1, 0.9);
+  spec.min_idle = microseconds(rng.uniform(10.0, 200.0));
+  spec.system_noise = "none";
+  spec.campaign_seed = rng.next_u64();
+  spec.np = {2 + static_cast<int>(rng.uniform_below(6))};
+  spec.delay_ms.clear();
+  const std::size_t delays = 1 + rng.uniform_below(3);
+  for (std::size_t i = 0; i < delays; ++i)
+    spec.delay_ms.push_back(rng.uniform(0.5, 24.0));
+  spec.msg_bytes.clear();
+  const std::size_t sizes = 1 + rng.uniform_below(2);
+  for (std::size_t i = 0; i < sizes; ++i)
+    spec.msg_bytes.push_back(
+        static_cast<std::int64_t>(64 + rng.uniform_below(1 << 16)));
+  if (rng.uniform() < 0.5) spec.noise_E_percent = {rng.uniform(0.0, 30.0)};
+  if (rng.uniform() < 0.3)
+    spec.nic_depth = {static_cast<int>(rng.uniform_below(4))};
+  if (rng.uniform() < 0.3)
+    spec.eager_credits = {static_cast<int>(rng.uniform_below(8))};
+  return spec;
+}
+
+TEST(CacheKey, RandomizedCampaigns) {
+  constexpr int kCases = 200;
+  std::set<std::string> all_keys;
+  for (int c = 0; c < kCases; ++c) {
+    Rng rng(0x1D7ECA5Eull + static_cast<std::uint64_t>(c));
+    const sweep::SweepSpec spec = random_spec(rng);
+    const std::vector<std::string> keys = keys_of(spec);
+
+    // (a) reproducible
+    ASSERT_EQ(keys_of(spec), keys) << "case " << c;
+
+    // (b) protocol round-trip preserves every key bit-for-bit (doubles
+    // travel as 17-digit decimals, the seed as a quoted u64)
+    const sweep::SweepSpec rt =
+        spec_from_json(json::parse(spec_to_json(spec)));
+    ASSERT_EQ(keys_of(rt), keys) << "case " << c;
+
+    // (c) no collisions inside the campaign
+    const std::set<std::string> unique(keys.begin(), keys.end());
+    ASSERT_EQ(unique.size(), keys.size()) << "case " << c;
+
+    // (d) moving the campaign seed moves every key
+    sweep::SweepSpec reseeded = spec;
+    reseeded.campaign_seed ^= 0x9E3779B97F4A7C15ull;
+    const std::vector<std::string> moved = keys_of(reseeded);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      ASSERT_NE(moved[i], keys[i]) << "case " << c << " point " << i;
+
+    all_keys.insert(keys.begin(), keys.end());
+  }
+  // Cross-campaign: random campaigns essentially never collide.
+  EXPECT_GT(all_keys.size(), static_cast<std::size_t>(kCases));
+}
+
+}  // namespace
+}  // namespace iw::service

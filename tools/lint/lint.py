@@ -4,7 +4,8 @@
 Rules (each line of output is `path:line: [rule] message`):
 
   banned-construct   std::function / std::unordered_map / std::shared_ptr in
-                     the hot-path trees (src/sim/, src/mpi/). These layers
+                     the hot-path trees (src/sim/, src/mpi/, src/service/ —
+                     the daemon shares the sweep worker pool). These layers
                      were flattened deliberately (PR 1/PR 4): type-erased
                      dispatch, hashing and refcounts on the per-event or
                      per-message path are regressions, not style. Exceptions
@@ -59,7 +60,7 @@ import tempfile
 from pathlib import Path
 
 BANNED = ("std::function", "std::unordered_map", "std::shared_ptr")
-HOT_TREES = ("src/sim", "src/mpi")
+HOT_TREES = ("src/sim", "src/mpi", "src/service")
 GOLDEN_HEADER = re.compile(
     r"^# iw-golden schema=(\d+) scenario=([A-Za-z0-9_]+) points=(\d+)$")
 
